@@ -1,0 +1,113 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! 1. **Exact buffer simulation** (decision 1) — the cost of carrying the
+//!    object→page map and true residency as model state, vs. the model
+//!    without any buffer pressure (an oversized buffer): quantifies what
+//!    the exactness costs in wall-clock.
+//! 2. **Texas loading-policy module** — swizzle on/off at equal memory.
+//! 3. **Initial placement** (Table 3 `INITPL`) — Sequential vs Optimized
+//!    Sequential vs Random under the same workload.
+//! 4. **DSTC observation overhead** — the statistics collection cost per
+//!    access, measured by running the same workload with clustering None
+//!    vs DSTC observing (no reorganisation).
+
+use clustering::{ClusteringKind, DstcParams, InitialPlacement};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocb::{DatabaseParams, WorkloadParams};
+use std::hint::black_box;
+use voodb::{run_once, ExperimentConfig, SystemClass, VoodbParams};
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig {
+        system: VoodbParams {
+            system_class: SystemClass::Centralized,
+            buffer_pages: 128,
+            get_lock_ms: 0.0,
+            release_lock_ms: 0.0,
+            ..VoodbParams::default()
+        },
+        database: DatabaseParams {
+            objects: 2_000,
+            ..DatabaseParams::default()
+        },
+        workload: WorkloadParams {
+            hot_transactions: 100,
+            ..WorkloadParams::default()
+        },
+    }
+}
+
+fn bench_buffer_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer");
+    group.sample_size(10);
+    let pressured = base_config();
+    let mut unpressured = base_config();
+    unpressured.system.buffer_pages = 100_000;
+    group.bench_function("exact_buffer_128_frames", |b| {
+        b.iter(|| black_box(run_once(&pressured, black_box(7))))
+    });
+    group.bench_function("no_pressure_100k_frames", |b| {
+        b.iter(|| black_box(run_once(&unpressured, black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_swizzle_module(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_swizzle");
+    group.sample_size(10);
+    let mut plain = base_config();
+    plain.system.swizzle = false;
+    let mut texas = base_config();
+    texas.system.swizzle = true;
+    group.bench_function("swizzle_off", |b| {
+        b.iter(|| black_box(run_once(&plain, black_box(7))))
+    });
+    group.bench_function("swizzle_on", |b| {
+        b.iter(|| black_box(run_once(&texas, black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_initial_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_placement");
+    group.sample_size(10);
+    for (name, placement) in [
+        ("sequential", InitialPlacement::Sequential),
+        ("optimized_sequential", InitialPlacement::OptimizedSequential),
+        ("random", InitialPlacement::Random { seed: 99 }),
+    ] {
+        let mut config = base_config();
+        config.system.initial_placement = placement;
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_once(&config, black_box(7))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dstc_observation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dstc_observe");
+    group.sample_size(10);
+    let none = base_config();
+    let mut observing = base_config();
+    observing.system.clustering = ClusteringKind::Dstc(DstcParams {
+        trigger_threshold: usize::MAX, // observe only, never reorganise
+        ..DstcParams::default()
+    });
+    group.bench_function("clustering_none", |b| {
+        b.iter(|| black_box(run_once(&none, black_box(7))))
+    });
+    group.bench_function("dstc_observing", |b| {
+        b.iter(|| black_box(run_once(&observing, black_box(7))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer_pressure,
+    bench_swizzle_module,
+    bench_initial_placement,
+    bench_dstc_observation
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure benches: scaled-down single replications of the paper's figure
+//! experiments, measuring how long one bench-vs-sim comparison takes.
+//!
+//! The full sweeps live in the `fig*` binaries; these criterion targets
+//! keep one representative point of each figure under continuous timing
+//! so regressions in the engines or the simulator show up in `cargo
+//! bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
+use std::hint::black_box;
+use voodb_bench::{o2_bench_ios, o2_sim_ios, texas_bench_ios, texas_sim_ios};
+
+fn small_setup() -> (ObjectBase, WorkloadParams) {
+    let db = DatabaseParams {
+        classes: 20,
+        objects: 2_000,
+        ..DatabaseParams::default()
+    };
+    let workload = WorkloadParams {
+        hot_transactions: 100,
+        ..WorkloadParams::default()
+    };
+    (ObjectBase::generate(&db, 42), workload)
+}
+
+fn bench_o2_point(c: &mut Criterion) {
+    let (base, workload) = small_setup();
+    let mut group = c.benchmark_group("fig6_point_2k_objects");
+    group.sample_size(10);
+    group.bench_function("bench_engine", |b| {
+        b.iter(|| black_box(o2_bench_ios(&base, &workload, 2, black_box(7))))
+    });
+    group.bench_function("voodb_sim", |b| {
+        b.iter(|| black_box(o2_sim_ios(&base, &workload, 2, black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_texas_point(c: &mut Criterion) {
+    let (base, workload) = small_setup();
+    let mut group = c.benchmark_group("fig11_point_2k_objects");
+    group.sample_size(10);
+    // 1 MB of memory → pressure regime, the expensive end of Fig. 11.
+    group.bench_function("bench_engine_pressure", |b| {
+        b.iter(|| black_box(texas_bench_ios(&base, &workload, 1, black_box(7))))
+    });
+    group.bench_function("voodb_sim_pressure", |b| {
+        b.iter(|| black_box(texas_sim_ios(&base, &workload, 1, black_box(7))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_o2_point, bench_texas_point);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Kernel benches: the property that motivated DESP-C++.
+//!
+//! The paper abandoned QNAP2 because "the models written in QNAP2 are much
+//! slower at execution time than if they were written in a compiled
+//! language … simulation experiments are now 20 to 1,000 times quicker
+//! with DESP-C++" (§3.2.1). These benches measure the compiled kernel's
+//! event throughput on the M/M/1 validation model, plus the output-analysis
+//! primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desp::queueing::simulate_mm1;
+use desp::{ConfidenceInterval, RandomStream, Zipf};
+use std::hint::black_box;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(20);
+    // ~40k events per run (λ=0.9, horizon 10k ms → ~9k customers × 4
+    // events plus queueing).
+    group.bench_function("mm1_10k_ms_horizon", |b| {
+        b.iter(|| {
+            let r = simulate_mm1(0.9, 1.0, 10_000.0, 1_000.0, black_box(42));
+            black_box(r.events)
+        })
+    });
+    group.finish();
+}
+
+fn bench_output_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    let samples: Vec<f64> = {
+        let mut stream = RandomStream::new(7);
+        (0..100).map(|_| stream.uniform(900.0, 1100.0)).collect()
+    };
+    group.bench_function("student_t_ci_100_samples", |b| {
+        b.iter(|| black_box(ConfidenceInterval::from_samples(black_box(&samples), 0.95)))
+    });
+    group.bench_function("t_quantile_df99", |b| {
+        b.iter(|| black_box(desp::stats::student_t_quantile(0.975, black_box(99.0))))
+    });
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random");
+    group.bench_function("zipf_sample_20k", |b| {
+        let zipf = Zipf::new(20_000, 1.0);
+        let mut stream = RandomStream::new(3);
+        b.iter(|| black_box(zipf.sample(&mut stream)))
+    });
+    group.bench_function("zipf_build_20k", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(Zipf::new(20_000, 1.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("expo_draw", |b| {
+        let mut stream = RandomStream::new(5);
+        b.iter(|| black_box(stream.expo(10.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_output_analysis, bench_random);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Minimal `--key value` argument parsing for the harness binaries.
+//!
+//! No external CLI crate is sanctioned for this reproduction, and the
+//! binaries only need a handful of numeric overrides (`--reps`,
+//! `--classes`, `--objects`, `--seed`), so a tiny parser suffices.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (panics on a malformed pair so CI
+    /// fails loudly on typos).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut iter = iter.into_iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("unexpected argument '{key}' (expected --key value)");
+            };
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{name}"));
+            values.insert(name.to_owned(), value);
+        }
+        Args { values }
+    }
+
+    /// Fetches a typed value with a default.
+    ///
+    /// # Panics
+    /// Panics if the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("--{name} {raw}: {e}")),
+        }
+    }
+
+    /// Whether the flag was supplied at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_with_defaults() {
+        let a = args(&["--reps", "25", "--classes", "20"]);
+        assert_eq!(a.get("reps", 10usize), 25);
+        assert_eq!(a.get("classes", 50usize), 20);
+        assert_eq!(a.get("objects", 20_000usize), 20_000);
+        assert!(a.has("reps"));
+        assert!(!a.has("objects"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_panics() {
+        let _ = args(&["--reps"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected argument")]
+    fn positional_rejected() {
+        let _ = args(&["reps"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--reps abc")]
+    fn bad_number_panics() {
+        let a = args(&["--reps", "abc"]);
+        let _ = a.get("reps", 1usize);
+    }
+}

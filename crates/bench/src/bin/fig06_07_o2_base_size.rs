@@ -1,0 +1,58 @@
+//! Figures 6 & 7 — mean number of I/Os depending on the number of
+//! instances (O2, 20 and 50 classes).
+//!
+//! Sweep: NO ∈ {500, 1000, 2000, 5000, 10000, 20000}, Table 5 workload,
+//! O2 parameterised per Table 4 (page server, 16 MB cache, LRU).
+//!
+//! ```text
+//! cargo run --release -p voodb-bench --bin fig06_07_o2_base_size -- \
+//!     [--classes 20|50] [--reps 10] [--seed 42]
+//! ```
+//! Without `--classes`, both figures (20 then 50 classes) are produced.
+
+use ocb::{DatabaseParams, WorkloadParams};
+use voodb_bench::{check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep,
+    Args, INSTANCE_SWEEP};
+
+fn run_figure(classes: usize, reps: usize, seed: u64) {
+    let workload = WorkloadParams::default();
+    let points: Vec<_> = INSTANCE_SWEEP
+        .iter()
+        .map(|&objects| {
+            let db = DatabaseParams {
+                classes,
+                objects,
+                ..DatabaseParams::default()
+            };
+            measure_point(
+                objects as f64,
+                &db,
+                reps,
+                seed,
+                |base, s| o2_bench_ios(base, &workload, 16, s),
+                |base, s| o2_sim_ios(base, &workload, 16, s),
+            )
+        })
+        .collect();
+    let figure = if classes == 20 { 6 } else { 7 };
+    print_sweep(
+        &format!("Figure {figure}: mean I/Os vs instances (O2, {classes} classes)"),
+        "instances",
+        &points,
+    );
+    if let Err(e) = check_same_tendency(&points, 0.10) {
+        eprintln!("WARNING: tendency check failed: {e}");
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.get("reps", 10usize);
+    let seed = args.get("seed", 42u64);
+    if args.has("classes") {
+        run_figure(args.get("classes", 20usize), reps, seed);
+    } else {
+        run_figure(20, reps, seed);
+        run_figure(50, reps, seed);
+    }
+}

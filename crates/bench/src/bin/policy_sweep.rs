@@ -1,0 +1,59 @@
+//! Ablation — buffer replacement policies under the Table 5 workload.
+//!
+//! Not a paper artifact: the paper lists the policy spectrum (Table 3
+//! `PGREP`) and flags buffering strategies as a prime extension target
+//! (§5). This sweep exercises every built-in policy through the simulator
+//! under identical conditions, demonstrating VOODB's stated purpose of
+//! comparing optimisation choices without building a system.
+//!
+//! ```text
+//! cargo run --release -p voodb-bench --bin policy_sweep -- \
+//!     [--reps 5] [--seed 42] [--objects 5000] [--buffer 256]
+//! ```
+
+use bufmgr::PolicyKind;
+use desp::ConfidenceInterval;
+use ocb::{DatabaseParams, WorkloadParams};
+use voodb::{run_once, ExperimentConfig, SystemClass, VoodbParams};
+use voodb_bench::{replicate, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.get("reps", 5usize);
+    let seed = args.get("seed", 42u64);
+    let objects = args.get("objects", 5_000usize);
+    let buffer_pages = args.get("buffer", 256usize);
+    let db = DatabaseParams {
+        objects,
+        ..DatabaseParams::default()
+    };
+    let workload = WorkloadParams::default();
+
+    println!("# Ablation: page replacement policies (simulated, {objects} objects, {buffer_pages}-page buffer)");
+    println!("{:<12} {:>12} {:>10} {:>10}", "policy", "ios", "±95%", "hit-ratio");
+    for policy in PolicyKind::all_default() {
+        let config = ExperimentConfig {
+            system: VoodbParams {
+                system_class: SystemClass::Centralized,
+                buffer_pages,
+                page_replacement: policy,
+                get_lock_ms: 0.0,
+                release_lock_ms: 0.0,
+                ..VoodbParams::default()
+            },
+            database: db.clone(),
+            workload: workload.clone(),
+        };
+        let ios = replicate(reps, seed, |s| run_once(&config, s).total_ios() as f64);
+        let hits = replicate(reps, seed, |s| run_once(&config, s).hit_ratio);
+        let ci = ConfidenceInterval::from_samples(&ios, 0.95);
+        let hit = ConfidenceInterval::from_samples(&hits, 0.95);
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>10.4}",
+            policy.to_string(),
+            ci.mean,
+            ci.half_width,
+            hit.mean
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # voodb-bench — the harness regenerating the paper's evaluation
+//!
+//! One binary per table/figure of *VOODB* (VLDB 1999), §4:
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig06_07_o2_base_size` | Figs. 6 & 7: mean I/Os vs. instances (O2) |
+//! | `fig08_o2_cache` | Fig. 8: mean I/Os vs. server cache size (O2) |
+//! | `fig09_10_texas_base_size` | Figs. 9 & 10: mean I/Os vs. instances (Texas) |
+//! | `fig11_texas_memory` | Fig. 11: mean I/Os vs. available memory (Texas) |
+//! | `tab06_07_dstc_mid` | Tables 6 & 7: DSTC on the mid-sized base |
+//! | `tab08_dstc_large` | Table 8: DSTC on the "large" base (8 MB) |
+//! | `policy_sweep` | Ablation: replacement policies under one workload |
+//! | `repro_all` | Everything above, in sequence |
+//!
+//! Each prints a Benchmark column (the `oostore` mini-engines) and a
+//! Simulation column (the `voodb` model) with 95% confidence intervals,
+//! mirroring the paper's figures. Criterion benches (`cargo bench`) cover
+//! kernel throughput and scaled-down versions of the same experiments.
+
+pub mod args;
+pub mod harness;
+pub mod report;
+
+pub use args::Args;
+pub use harness::{
+    dstc_bench_once, dstc_mean, dstc_sim_once, generate_workload, measure_point, o2_bench_ios,
+    o2_sim_ios, replicate, replicate_map, texas_bench_ios, texas_sim_ios, DstcSide, Estimate,
+    Point, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
+};
+pub use report::{check_same_tendency, print_cluster_table, print_dstc_table, print_sweep};

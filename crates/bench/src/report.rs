@@ -1,0 +1,188 @@
+//! Report formatting for the harness binaries.
+//!
+//! Every binary prints the same layout the paper uses: an x column, the
+//! Benchmark series, the Simulation series (both ± their 95% half-widths),
+//! and the bench/sim ratio. The output doubles as the machine-readable
+//! record pasted into `EXPERIMENTS.md`.
+
+use crate::harness::{DstcSide, Point};
+
+/// Prints a figure-style sweep table.
+pub fn print_sweep(title: &str, x_label: &str, points: &[Point]) {
+    println!("# {title}");
+    println!(
+        "{:<14} {:>14} {:>10} {:>14} {:>10} {:>8}",
+        x_label, "bench(I/Os)", "±95%", "sim(I/Os)", "±95%", "ratio"
+    );
+    for p in points {
+        println!(
+            "{:<14} {:>14.1} {:>10.1} {:>14.1} {:>10.1} {:>8.3}",
+            p.x, p.bench.mean, p.bench.half_width, p.sim.mean, p.sim.half_width,
+            p.ratio()
+        );
+    }
+    println!();
+}
+
+/// Checks the tendency the paper's figures show: both series must be
+/// monotone in the same direction (within `slack` relative tolerance for
+/// replication noise). Returns an error message when the shapes disagree.
+pub fn check_same_tendency(points: &[Point], slack: f64) -> Result<(), String> {
+    if points.len() < 2 {
+        return Ok(());
+    }
+    let dir = |series: &dyn Fn(&Point) -> f64| -> i32 {
+        let first = series(&points[0]);
+        let last = series(&points[points.len() - 1]);
+        if last > first {
+            1
+        } else {
+            -1
+        }
+    };
+    let bench = |p: &Point| p.bench.mean;
+    let sim = |p: &Point| p.sim.mean;
+    if dir(&bench) != dir(&sim) {
+        return Err("benchmark and simulation trend in opposite directions".into());
+    }
+    // Within each series, successive points may wiggle by the slack but
+    // the overall direction must hold pairwise across the span.
+    for (name, series) in [("bench", &bench as &dyn Fn(&Point) -> f64), ("sim", &sim)] {
+        let d = dir(series) as f64;
+        for w in points.windows(2) {
+            let (a, b) = (series(&w[0]), series(&w[1]));
+            if d * (b - a) < -slack * a.abs() {
+                return Err(format!(
+                    "{name} series reverses tendency between x={} and x={}",
+                    w[0].x, w[1].x
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Prints a Table 6/8-style DSTC comparison.
+pub fn print_dstc_table(title: &str, bench: &DstcSide, sim: &DstcSide, with_overhead: bool) {
+    println!("# {title}");
+    println!("{:<24} {:>12} {:>12} {:>8}", "", "Bench.", "Sim.", "Ratio");
+    let ratio = |b: f64, s: f64| if s == 0.0 { f64::INFINITY } else { b / s };
+    println!(
+        "{:<24} {:>12.2} {:>12.2} {:>8.4}",
+        "Pre-clustering usage",
+        bench.pre,
+        sim.pre,
+        ratio(bench.pre, sim.pre)
+    );
+    if with_overhead {
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>8.4}",
+            "Clustering overhead",
+            bench.overhead,
+            sim.overhead,
+            ratio(bench.overhead, sim.overhead)
+        );
+    }
+    println!(
+        "{:<24} {:>12.2} {:>12.2} {:>8.4}",
+        "Post-clustering usage",
+        bench.post,
+        sim.post,
+        ratio(bench.post, sim.post)
+    );
+    println!(
+        "{:<24} {:>12.2} {:>12.2} {:>8.4}",
+        "Gain",
+        bench.gain(),
+        sim.gain(),
+        ratio(bench.gain(), sim.gain())
+    );
+    println!();
+}
+
+/// Prints a Table 7-style cluster-statistics comparison.
+pub fn print_cluster_table(title: &str, bench: &DstcSide, sim: &DstcSide) {
+    println!("# {title}");
+    println!("{:<28} {:>12} {:>12} {:>8}", "", "Bench.", "Sim.", "Ratio");
+    let ratio = |b: f64, s: f64| if s == 0.0 { f64::INFINITY } else { b / s };
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>8.4}",
+        "Mean number of clusters",
+        bench.clusters,
+        sim.clusters,
+        ratio(bench.clusters, sim.clusters)
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2} {:>8.4}",
+        "Mean number of obj./clust.",
+        bench.objects_per_cluster,
+        sim.objects_per_cluster,
+        ratio(bench.objects_per_cluster, sim.objects_per_cluster)
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Estimate;
+
+    fn point(x: f64, bench: f64, sim: f64) -> Point {
+        Point {
+            x,
+            bench: Estimate {
+                mean: bench,
+                half_width: 1.0,
+                n: 10,
+            },
+            sim: Estimate {
+                mean: sim,
+                half_width: 1.0,
+                n: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn same_tendency_accepts_monotone_series() {
+        let points = vec![point(1.0, 10.0, 12.0), point(2.0, 20.0, 22.0), point(3.0, 30.0, 33.0)];
+        assert!(check_same_tendency(&points, 0.05).is_ok());
+    }
+
+    #[test]
+    fn same_tendency_accepts_decreasing_series() {
+        let points = vec![point(8.0, 50.0, 55.0), point(16.0, 20.0, 22.0), point(64.0, 5.0, 6.0)];
+        assert!(check_same_tendency(&points, 0.05).is_ok());
+    }
+
+    #[test]
+    fn opposite_directions_rejected() {
+        let points = vec![point(1.0, 10.0, 30.0), point(2.0, 20.0, 15.0)];
+        assert!(check_same_tendency(&points, 0.05).is_err());
+    }
+
+    #[test]
+    fn big_reversal_rejected_small_wiggle_tolerated() {
+        // Wiggle within slack.
+        let points = vec![point(1.0, 10.0, 10.0), point(2.0, 9.9, 10.1), point(3.0, 30.0, 31.0)];
+        assert!(check_same_tendency(&points, 0.05).is_ok());
+        // Hard reversal.
+        let points = vec![point(1.0, 10.0, 10.0), point(2.0, 5.0, 11.0), point(3.0, 30.0, 31.0)];
+        assert!(check_same_tendency(&points, 0.05).is_err());
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        let points = vec![point(500.0, 100.0, 110.0)];
+        print_sweep("test", "instances", &points);
+        let side = DstcSide {
+            pre: 100.0,
+            overhead: 50.0,
+            post: 20.0,
+            clusters: 10.0,
+            objects_per_cluster: 5.0,
+        };
+        print_dstc_table("test", &side, &side, true);
+        print_cluster_table("test", &side, &side);
+    }
+}

@@ -1,0 +1,73 @@
+//! FIFO replacement: evict the page resident longest.
+
+use crate::policy::{PageId, ReplacementPolicy};
+use std::collections::VecDeque;
+
+/// First-in-first-out replacement. References do not affect eviction order,
+/// only admission order does.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<PageId>,
+}
+
+impl FifoPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn on_admit(&mut self, page: PageId) {
+        self.queue.push_back(page);
+    }
+
+    fn on_access(&mut self, _page: PageId) {
+        // FIFO ignores references.
+    }
+
+    fn select_victim(&mut self) -> PageId {
+        *self.queue.front().expect("FIFO victim requested on empty pool")
+    }
+
+    fn on_evict(&mut self, page: PageId) {
+        if self.queue.front() == Some(&page) {
+            self.queue.pop_front();
+        } else {
+            // Out-of-band eviction (e.g. explicit invalidation).
+            self.queue.retain(|&p| p != page);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_admission_order_regardless_of_access() {
+        let mut p = FifoPolicy::new();
+        p.on_admit(1);
+        p.on_admit(2);
+        p.on_admit(3);
+        p.on_access(1); // Must not promote page 1.
+        assert_eq!(p.select_victim(), 1);
+        p.on_evict(1);
+        assert_eq!(p.select_victim(), 2);
+        p.on_evict(2);
+        assert_eq!(p.select_victim(), 3);
+    }
+
+    #[test]
+    fn out_of_band_eviction_supported() {
+        let mut p = FifoPolicy::new();
+        p.on_admit(1);
+        p.on_admit(2);
+        p.on_evict(2);
+        assert_eq!(p.select_victim(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! LFU replacement: evict the least frequently used page, ties broken by
+//! recency (least recently used first).
+
+use crate::policy::{PageId, ReplacementPolicy};
+use std::collections::{BTreeSet, HashMap};
+
+/// Least-frequently-used replacement, O(log n) per operation.
+#[derive(Debug, Default)]
+pub struct LfuPolicy {
+    /// page → (reference count, last stamp).
+    state: HashMap<PageId, (u64, u64)>,
+    /// Ordered by (count, stamp, page): the minimum is the coldest page.
+    index: BTreeSet<(u64, u64, PageId)>,
+    next_stamp: u64,
+}
+
+impl LfuPolicy {
+    /// Creates an empty policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&mut self, page: PageId, reset: bool) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let entry = self.state.entry(page).or_insert((0, 0));
+        if entry.0 > 0 || self.index.contains(&(entry.0, entry.1, page)) {
+            self.index.remove(&(entry.0, entry.1, page));
+        }
+        if reset {
+            *entry = (1, stamp);
+        } else {
+            entry.0 += 1;
+            entry.1 = stamp;
+        }
+        self.index.insert((entry.0, entry.1, page));
+    }
+}
+
+impl ReplacementPolicy for LfuPolicy {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+
+    fn on_admit(&mut self, page: PageId) {
+        // Frequency restarts on re-admission (the common "LFU with reset"
+        // variant; avoids stale popularity pinning pages forever).
+        self.bump(page, true);
+    }
+
+    fn on_access(&mut self, page: PageId) {
+        self.bump(page, false);
+    }
+
+    fn select_victim(&mut self) -> PageId {
+        self.index
+            .first()
+            .map(|&(_, _, page)| page)
+            .expect("LFU victim requested on empty pool")
+    }
+
+    fn on_evict(&mut self, page: PageId) {
+        if let Some((count, stamp)) = self.state.remove(&page) {
+            self.index.remove(&(count, stamp, page));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut p = LfuPolicy::new();
+        p.on_admit(1);
+        p.on_admit(2);
+        p.on_admit(3);
+        p.on_access(1);
+        p.on_access(1);
+        p.on_access(3);
+        // Counts: 1→3, 2→1, 3→2.
+        assert_eq!(p.select_victim(), 2);
+    }
+
+    #[test]
+    fn frequency_ties_break_by_recency() {
+        let mut p = LfuPolicy::new();
+        p.on_admit(1);
+        p.on_admit(2);
+        // Both count 1; page 1 admitted earlier → evicted first.
+        assert_eq!(p.select_victim(), 1);
+        p.on_access(1); // 1 now count 2.
+        assert_eq!(p.select_victim(), 2);
+    }
+
+    #[test]
+    fn readmission_resets_frequency() {
+        let mut p = LfuPolicy::new();
+        p.on_admit(1);
+        for _ in 0..10 {
+            p.on_access(1);
+        }
+        p.on_evict(1);
+        p.on_admit(2);
+        p.on_access(2); // count 2
+        p.on_admit(1); // count reset to 1
+        assert_eq!(p.select_victim(), 1);
+    }
+}

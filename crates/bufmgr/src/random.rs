@@ -1,0 +1,99 @@
+//! RANDOM replacement: evict a uniformly chosen resident page.
+//!
+//! The baseline policy of Table 3; useful mostly as a control in policy
+//! sweeps.
+
+use crate::policy::{PageId, ReplacementPolicy};
+use desp::RandomStream;
+use std::collections::HashMap;
+
+/// Random replacement with an embedded deterministic stream.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    pages: Vec<PageId>,
+    position: HashMap<PageId, usize>,
+    stream: RandomStream,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with its own seeded stream (deterministic runs).
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            pages: Vec::new(),
+            position: HashMap::new(),
+            stream: RandomStream::new(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+
+    fn on_admit(&mut self, page: PageId) {
+        self.position.insert(page, self.pages.len());
+        self.pages.push(page);
+    }
+
+    fn on_access(&mut self, _page: PageId) {
+        // References are irrelevant to random replacement.
+    }
+
+    fn select_victim(&mut self) -> PageId {
+        assert!(!self.pages.is_empty(), "RANDOM victim requested on empty pool");
+        let idx = self.stream.index(self.pages.len());
+        self.pages[idx]
+    }
+
+    fn on_evict(&mut self, page: PageId) {
+        if let Some(idx) = self.position.remove(&page) {
+            // swap_remove keeps O(1); fix the moved page's index.
+            self.pages.swap_remove(idx);
+            if idx < self.pages.len() {
+                self.position.insert(self.pages[idx], idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_always_resident() {
+        let mut p = RandomPolicy::new(1);
+        for page in 0..50 {
+            p.on_admit(page);
+        }
+        for _ in 0..200 {
+            let v = p.select_victim();
+            assert!(v < 50);
+        }
+    }
+
+    #[test]
+    fn eviction_removes_page() {
+        let mut p = RandomPolicy::new(2);
+        p.on_admit(1);
+        p.on_admit(2);
+        p.on_evict(1);
+        for _ in 0..50 {
+            assert_eq!(p.select_victim(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = RandomPolicy::new(3);
+        let mut b = RandomPolicy::new(3);
+        for page in 0..20 {
+            a.on_admit(page);
+            b.on_admit(page);
+        }
+        for _ in 0..50 {
+            assert_eq!(a.select_victim(), b.select_victim());
+        }
+    }
+}

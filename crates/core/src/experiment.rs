@@ -1,0 +1,300 @@
+//! Experiment drivers: phases, replications, and the DSTC study protocol.
+//!
+//! The paper's experimental protocol (§4.2.2): every configuration is
+//! simulated as independent replications; results carry 95% Student-t
+//! confidence intervals; a pilot study of 10 replications sizes the run
+//! (`n* = n·(h/h*)²`), 100 replications being always sufficient.
+//!
+//! [`Simulation`] drives one replication through its phases (a cold run,
+//! the measured warm run, external clustering demands, cold restarts);
+//! [`run_replicated`] wraps any experiment closure in the replication
+//! protocol via `desp`'s [`Replicator`].
+
+use crate::cman::SimReorgReport;
+use crate::model::VoodbModel;
+use crate::params::VoodbParams;
+use crate::results::PhaseResult;
+use desp::{Engine, MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
+use ocb::{DatabaseParams, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams};
+
+/// Seed decorrelation constant between database and workload streams.
+const WORKLOAD_SEED_SALT: u64 = 0x0C0B_57A7_15EC_5EED;
+
+/// A multi-phase simulation of one replication.
+pub struct Simulation<'a> {
+    model: Option<VoodbModel<'a>>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds the simulation over `base` with the Table 3 parameters.
+    pub fn new(base: &'a ObjectBase, params: VoodbParams, think_time_ms: f64, seed: u64) -> Self {
+        Simulation {
+            model: Some(VoodbModel::new(base, params, think_time_ms, seed)),
+        }
+    }
+
+    /// Runs one phase: executes `transactions`, measuring from index
+    /// `cold_count` onwards. State (buffers, placement, clustering
+    /// statistics) carries over between phases.
+    pub fn run_phase(&mut self, transactions: Vec<Transaction>, cold_count: usize) -> PhaseResult {
+        let mut model = self.model.take().expect("model present");
+        model.load_phase(transactions, cold_count);
+        let mut engine = Engine::new(model);
+        let outcome = engine.run_to_completion();
+        let model = engine.into_model();
+        let result = model.phase_result(outcome.events_dispatched);
+        self.model = Some(model);
+        result
+    }
+
+    /// Cold restart: empties every buffer (dirty pages written back).
+    pub fn flush_buffers(&mut self) {
+        self.model.as_mut().expect("model present").flush_buffers();
+    }
+
+    /// External clustering demand (the Users' arrow into the Clustering
+    /// Manager in Fig. 4), executed between phases.
+    pub fn external_reorganize(&mut self) -> SimReorgReport {
+        self.model
+            .as_mut()
+            .expect("model present")
+            .external_reorganize()
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &VoodbModel<'a> {
+        self.model.as_ref().expect("model present")
+    }
+}
+
+/// One complete experiment configuration: the simulated system, the object
+/// base, and the workload.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The simulated system (Table 3 / Table 4).
+    pub system: VoodbParams,
+    /// The OCB object base.
+    pub database: DatabaseParams,
+    /// The OCB workload.
+    pub workload: WorkloadParams,
+}
+
+impl ExperimentConfig {
+    /// Validates all three parameter groups.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.system.validate()?;
+        self.database.validate()?;
+        self.workload.validate()
+    }
+}
+
+/// Runs one replication of the standard experiment: generate the base and
+/// the workload from `seed`, execute `COLDN` cold + `HOTN` measured
+/// transactions, return the phase result.
+pub fn run_once(config: &ExperimentConfig, seed: u64) -> PhaseResult {
+    config.validate().expect("invalid experiment configuration");
+    let base = ObjectBase::generate(&config.database, seed);
+    let mut generator =
+        WorkloadGenerator::new(&base, config.workload.clone(), seed ^ WORKLOAD_SEED_SALT);
+    let (cold, hot) = generator.generate_run();
+    let cold_count = cold.len();
+    let mut transactions = cold;
+    transactions.extend(hot);
+    let mut simulation = Simulation::new(
+        &base,
+        config.system.clone(),
+        config.workload.think_time_ms,
+        seed,
+    );
+    simulation.run_phase(transactions, cold_count)
+}
+
+/// Runs the experiment under the replication protocol, returning per-metric
+/// confidence intervals (metric names per
+/// [`PhaseResult::to_metrics`]).
+pub fn run_replicated(
+    config: &ExperimentConfig,
+    policy: ReplicationPolicy,
+    base_seed: u64,
+) -> ReplicationReport {
+    config.validate().expect("invalid experiment configuration");
+    Replicator::new(policy, base_seed).run(|seed| run_once(config, seed).to_metrics())
+}
+
+/// Result of the §4.4 DSTC protocol: pre-clustering usage, clustering
+/// overhead, post-clustering usage (Tables 6 and 8), and the cluster
+/// statistics (Table 7).
+#[derive(Clone, Debug)]
+pub struct DstcStudyResult {
+    /// The pre-clustering measured run (cold start).
+    pub pre: PhaseResult,
+    /// The reorganisation (its I/Os are the "clustering overhead" row).
+    pub reorg: SimReorgReport,
+    /// The post-clustering measured run (cold start, same transactions).
+    pub post: PhaseResult,
+}
+
+impl DstcStudyResult {
+    /// Performance gain: pre-clustering I/Os over post-clustering I/Os.
+    pub fn gain(&self) -> f64 {
+        if self.post.total_ios() == 0 {
+            f64::INFINITY
+        } else {
+            self.pre.total_ios() as f64 / self.post.total_ios() as f64
+        }
+    }
+
+    /// Flattens into a [`MetricSet`] for replication analysis.
+    pub fn to_metrics(&self) -> MetricSet {
+        let mut metrics = MetricSet::new();
+        metrics.insert("pre_ios", self.pre.total_ios() as f64);
+        metrics.insert("overhead_ios", self.reorg.io.total() as f64);
+        metrics.insert("post_ios", self.post.total_ios() as f64);
+        metrics.insert("gain", self.gain());
+        metrics.insert("clusters", self.reorg.cluster_count as f64);
+        metrics.insert("objects_per_cluster", self.reorg.mean_cluster_size);
+        metrics
+    }
+}
+
+/// Runs one replication of the §4.4 protocol: a cold pre-clustering run
+/// (during which the strategy observes), an external clustering demand,
+/// a cold restart, and a post-clustering re-run of the *same*
+/// transactions.
+pub fn run_dstc_study(config: &ExperimentConfig, seed: u64) -> DstcStudyResult {
+    config.validate().expect("invalid experiment configuration");
+    assert!(
+        !config.system.clustering.is_none(),
+        "the DSTC study needs a clustering strategy (CLUSTP)"
+    );
+    let base = ObjectBase::generate(&config.database, seed);
+    let mut generator =
+        WorkloadGenerator::new(&base, config.workload.clone(), seed ^ WORKLOAD_SEED_SALT);
+    let (cold, hot) = generator.generate_run();
+    let cold_count = cold.len();
+    let mut transactions = cold;
+    transactions.extend(hot);
+
+    let mut simulation = Simulation::new(
+        &base,
+        config.system.clone(),
+        config.workload.think_time_ms,
+        seed,
+    );
+    let pre = simulation.run_phase(transactions.clone(), cold_count);
+    // External demand on the warm state, as after the paper's first run.
+    let reorg = simulation.external_reorganize();
+    // Cold restart: the paper reused "the object base in its initial and
+    // clustered state" in separate runs.
+    simulation.flush_buffers();
+    let post = simulation.run_phase(transactions, cold_count);
+    DstcStudyResult { pre, reorg, post }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::{ClusteringKind, DstcParams};
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            system: VoodbParams {
+                buffer_pages: 128,
+                ..VoodbParams::default()
+            },
+            database: DatabaseParams::small(),
+            workload: WorkloadParams {
+                hot_transactions: 40,
+                ..WorkloadParams::default()
+            },
+        }
+    }
+
+    #[test]
+    fn run_once_completes() {
+        let result = run_once(&small_config(), 5);
+        assert_eq!(result.transactions, 40);
+        assert!(result.total_ios() > 0);
+    }
+
+    #[test]
+    fn replications_differ_but_seeds_reproduce() {
+        let config = small_config();
+        let a = run_once(&config, 1);
+        let b = run_once(&config, 2);
+        let a2 = run_once(&config, 1);
+        assert_eq!(a.total_ios(), a2.total_ios());
+        assert_ne!(
+            (a.total_ios(), a.mean_response_ms),
+            (b.total_ios(), b.mean_response_ms),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn replicated_run_produces_intervals() {
+        let report = run_replicated(&small_config(), ReplicationPolicy::Fixed(8), 11);
+        assert_eq!(report.replications(), 8);
+        let ci = report.interval("ios");
+        assert!(ci.mean > 0.0);
+        assert!(ci.half_width.is_finite());
+        let names: Vec<&str> = report.metric_names().collect();
+        assert!(names.contains(&"ios_per_tx"));
+        assert!(names.contains(&"hit_ratio"));
+    }
+
+    #[test]
+    fn dstc_study_shows_gain_and_cheap_overhead() {
+        let config = ExperimentConfig {
+            system: VoodbParams {
+                system_class: crate::params::SystemClass::Centralized,
+                buffer_pages: 10_000,
+                get_lock_ms: 0.0,
+                release_lock_ms: 0.0,
+                multiprogramming_level: 1,
+                clustering: ClusteringKind::Dstc(DstcParams {
+                    observation_period: 2_000,
+                    tfa: 2.0,
+                    tfc: 1.0,
+                    tfe: 2.0,
+                    w: 0.8,
+                    max_unit_size: 32,
+                    trigger_threshold: usize::MAX, // external demand only
+                }),
+                ..VoodbParams::default()
+            },
+            database: DatabaseParams::small(),
+            workload: WorkloadParams {
+                hot_transactions: 300,
+                ..WorkloadParams::dstc_favorable()
+            },
+        };
+        let study = run_dstc_study(&config, 21);
+        assert!(study.reorg.cluster_count > 0, "clusters must form");
+        assert!(
+            study.gain() > 1.0,
+            "clustering must pay off: pre {} post {}",
+            study.pre.total_ios(),
+            study.post.total_ios()
+        );
+        // Logical OIDs through a warm buffer: overhead must be far below
+        // the pre-clustering usage (the Table 6 simulation column).
+        assert!(
+            study.reorg.io.total() < study.pre.total_ios(),
+            "overhead {} should undercut usage {}",
+            study.reorg.io.total(),
+            study.pre.total_ios()
+        );
+        let metrics = study.to_metrics();
+        assert!(metrics.get("gain").unwrap() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a clustering strategy")]
+    fn dstc_study_requires_clustering() {
+        let _ = run_dstc_study(&small_config(), 1);
+    }
+}

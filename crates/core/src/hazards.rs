@@ -1,0 +1,251 @@
+//! Random hazards: failure injection and recovery.
+//!
+//! §5 of the paper: "VOODB could also take into account random hazards,
+//! like benign or serious system failures, in order to observe how the
+//! studied OODB behaves and recovers in critical conditions. Such features
+//! could be included in VOODB as new modules." This is that module.
+//!
+//! Two hazard classes, both Poisson processes on the simulated clock:
+//!
+//! * **benign** — a transient stall (controller reset, bus timeout): the
+//!   disk is seized for a fixed outage, no state is lost;
+//! * **serious** — a crash: every buffered page is lost, dirty pages must
+//!   be recovered (one redo write each, plus a restart delay), and the
+//!   system resumes with a cold buffer.
+//!
+//! The module quantifies what the paper asks for: how throughput and
+//! response times degrade with failure rates, and how much recovery I/O a
+//! crash costs under each buffering configuration (a write-hot buffer
+//! loses more).
+
+use desp::RandomStream;
+
+/// Hazard-injection parameters (all disabled by default).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HazardParams {
+    /// Mean time between benign failures, in simulated ms (`None` = never).
+    pub benign_mtbf_ms: Option<f64>,
+    /// Outage caused by a benign failure, in ms.
+    pub benign_outage_ms: f64,
+    /// Mean time between serious failures (crashes), in simulated ms.
+    pub serious_mtbf_ms: Option<f64>,
+    /// Fixed restart time after a crash, in ms (on top of redo I/Os).
+    pub serious_restart_ms: f64,
+}
+
+impl HazardParams {
+    /// No hazards (the paper's base model).
+    pub fn disabled() -> Self {
+        HazardParams {
+            benign_mtbf_ms: None,
+            benign_outage_ms: 50.0,
+            serious_mtbf_ms: None,
+            serious_restart_ms: 2_000.0,
+        }
+    }
+
+    /// Are any hazards armed?
+    pub fn enabled(&self) -> bool {
+        self.benign_mtbf_ms.is_some() || self.serious_mtbf_ms.is_some()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, mtbf) in [
+            ("benign_mtbf_ms", self.benign_mtbf_ms),
+            ("serious_mtbf_ms", self.serious_mtbf_ms),
+        ] {
+            if let Some(v) = mtbf {
+                if v <= 0.0 {
+                    return Err(format!("{name} must be positive, got {v}"));
+                }
+            }
+        }
+        if self.benign_outage_ms < 0.0 || self.serious_restart_ms < 0.0 {
+            return Err("outage and restart times must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for HazardParams {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Which hazard struck.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Transient stall, no state loss.
+    Benign,
+    /// Crash: buffers lost, recovery required.
+    Serious,
+}
+
+/// Counters the hazard module maintains.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HazardReport {
+    /// Benign failures injected.
+    pub benign_failures: u64,
+    /// Serious failures (crashes) injected.
+    pub serious_failures: u64,
+    /// Total downtime, in simulated ms.
+    pub downtime_ms: f64,
+    /// Redo writes performed by crash recovery.
+    pub recovery_ios: u64,
+}
+
+/// The hazard generator: draws strike times and accounts outcomes.
+#[derive(Debug)]
+pub struct HazardModule {
+    params: HazardParams,
+    stream: RandomStream,
+    report: HazardReport,
+}
+
+impl HazardModule {
+    /// Creates the module (seeded for reproducible hazard schedules).
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
+    pub fn new(params: HazardParams, seed: u64) -> Self {
+        params.validate().expect("invalid hazard parameters");
+        HazardModule {
+            params,
+            stream: RandomStream::new(seed ^ 0x4841_5A41_5244_5321),
+            report: HazardReport::default(),
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &HazardParams {
+        &self.params
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> HazardReport {
+        self.report
+    }
+
+    /// Time until the next benign strike, if armed.
+    pub fn next_benign_ms(&mut self) -> Option<f64> {
+        let mtbf = self.params.benign_mtbf_ms?;
+        Some(self.stream.expo(mtbf))
+    }
+
+    /// Time until the next serious strike, if armed.
+    pub fn next_serious_ms(&mut self) -> Option<f64> {
+        let mtbf = self.params.serious_mtbf_ms?;
+        Some(self.stream.expo(mtbf))
+    }
+
+    /// Accounts a strike; returns the outage duration to hold the disk
+    /// for, *excluding* recovery I/O time (the model charges that through
+    /// its I/O subsystem so the redo writes are counted like any other).
+    pub fn strike(&mut self, kind: HazardKind) -> f64 {
+        match kind {
+            HazardKind::Benign => {
+                self.report.benign_failures += 1;
+                self.params.benign_outage_ms
+            }
+            HazardKind::Serious => {
+                self.report.serious_failures += 1;
+                self.params.serious_restart_ms
+            }
+        }
+    }
+
+    /// Accounts recovery work after a crash.
+    pub fn record_recovery(&mut self, redo_writes: u64) {
+        self.report.recovery_ios += redo_writes;
+    }
+
+    /// Accounts downtime (called when the outage window closes).
+    pub fn record_downtime(&mut self, ms: f64) {
+        self.report.downtime_ms += ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let params = HazardParams::default();
+        assert!(!params.enabled());
+        params.validate().unwrap();
+        let mut module = HazardModule::new(params, 1);
+        assert_eq!(module.next_benign_ms(), None);
+        assert_eq!(module.next_serious_ms(), None);
+    }
+
+    #[test]
+    fn strike_accounting() {
+        let params = HazardParams {
+            benign_mtbf_ms: Some(1_000.0),
+            benign_outage_ms: 25.0,
+            serious_mtbf_ms: Some(10_000.0),
+            serious_restart_ms: 500.0,
+        };
+        let mut module = HazardModule::new(params, 2);
+        assert_eq!(module.strike(HazardKind::Benign), 25.0);
+        assert_eq!(module.strike(HazardKind::Serious), 500.0);
+        module.record_recovery(42);
+        module.record_downtime(525.0);
+        let report = module.report();
+        assert_eq!(report.benign_failures, 1);
+        assert_eq!(report.serious_failures, 1);
+        assert_eq!(report.recovery_ios, 42);
+        assert!((report.downtime_ms - 525.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strike_times_follow_the_mtbf() {
+        let params = HazardParams {
+            benign_mtbf_ms: Some(100.0),
+            ..HazardParams::disabled()
+        };
+        let mut module = HazardModule::new(params, 3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += module.next_benign_ms().unwrap();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "MTBF estimate {mean}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(HazardParams {
+            benign_mtbf_ms: Some(0.0),
+            ..HazardParams::disabled()
+        }
+        .validate()
+        .is_err());
+        assert!(HazardParams {
+            serious_restart_ms: -1.0,
+            ..HazardParams::disabled()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let params = HazardParams {
+            benign_mtbf_ms: Some(500.0),
+            ..HazardParams::disabled()
+        };
+        let mut a = HazardModule::new(params, 9);
+        let mut b = HazardModule::new(params, 9);
+        for _ in 0..16 {
+            assert_eq!(a.next_benign_ms(), b.next_benign_ms());
+        }
+    }
+}

@@ -1,0 +1,969 @@
+//! The VOODB evaluation model.
+//!
+//! Systematic translation of the knowledge model (Fig. 4, Table 2): each
+//! active resource is a component ([`crate::oman`], [`crate::bman`],
+//! [`crate::cman`], [`crate::iosub`], the Users and Transaction Manager
+//! logic below), each passive resource (Table 1) a [`desp::Resource`]
+//! (the MPL scheduler, the server CPU, the disks, the network), and each
+//! functioning rule a method invoked from the event handler.
+//!
+//! One object access flows exactly as in Fig. 4:
+//!
+//! ```text
+//! Users → Transaction Manager (admission via MPL scheduler, GETLOCK on
+//! first touch) → Object Manager (OID → page) → Buffering Manager (hit?
+//! miss → demand) → I/O Subsystem (Fig. 5 timing on the disk resource) →
+//! [network transfer for client-server classes] → access done →
+//! Clustering Manager statistics → next object
+//! ```
+//!
+//! Simplifications vs. a full concurrency-control model, documented here
+//! deliberately: lock *conflicts* are not simulated (the paper charges
+//! only GETLOCK/RELLOCK CPU time; the scheduler's multiprogramming level
+//! is the concurrency limiter, per Table 1), and a page fetched by one
+//! transaction is immediately visible to others (no in-flight fetch
+//! queue).
+
+use crate::bman::BufferingManager;
+use crate::cman::{ClusteringManager, SimReorgReport};
+use crate::hazards::{HazardKind, HazardModule, HazardReport};
+use crate::lockmgr::{LockManager, LockMode, LockOutcome, LockStats};
+use crate::params::ConcurrencyControl;
+use crate::iosub::{IoSubsystem, SimIoCounts};
+use crate::oman::ObjectManager;
+use crate::params::{SystemClass, VoodbParams};
+use crate::results::PhaseResult;
+use bufmgr::PrefetchPolicy;
+use desp::{Context, Model, RandomStream, Resource, SimTime, Welford};
+use ocb::{Access, ObjectBase, Oid, Transaction};
+use std::collections::{HashMap, HashSet};
+
+/// Transaction identifier inside one phase.
+type Tid = usize;
+
+/// Events of the evaluation model.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// A user submits its next transaction.
+    Submit {
+        /// The submitting user.
+        user: usize,
+    },
+    /// The MPL scheduler admitted the transaction.
+    Admitted(Tid),
+    /// Process the transaction's next access (or commit).
+    StartAccess(Tid),
+    /// CPU granted for lock acquisition.
+    LockCpu(Tid),
+    /// Lock acquisition time elapsed.
+    LockHeld(Tid),
+    /// Disk granted for the access's I/O batch.
+    DiskGranted(Tid),
+    /// The I/O batch completed.
+    DiskDone(Tid),
+    /// Network granted for the access's transfer.
+    NetGranted(Tid),
+    /// The network transfer completed.
+    NetDone(Tid),
+    /// The object access is complete.
+    AccessDone(Tid),
+    /// CPU granted for commit-time lock releases.
+    CommitCpu(Tid),
+    /// The transaction committed.
+    Committed(Tid),
+    /// Disk granted for an automatically triggered reorganisation.
+    ReorgGranted {
+        /// User whose next submission waits for the reorganisation.
+        user: usize,
+    },
+    /// The reorganisation completed.
+    ReorgDone {
+        /// User whose next submission was waiting.
+        user: usize,
+    },
+    /// A parked transaction's lock was granted; continue its access.
+    LockResume(Tid),
+    /// A deadlock victim restarts from its first access.
+    TxRestart(Tid),
+    /// A hazard strikes (requests the disk to seize it).
+    HazardStrike(HazardKind),
+    /// The hazard holds the disk; the outage begins.
+    HazardSeized(HazardKind),
+    /// The outage is over; the disk resumes.
+    HazardCleared(HazardKind),
+}
+
+/// Per-transaction execution state.
+struct ActiveTx {
+    accesses: Vec<Access>,
+    pos: usize,
+    locked: HashSet<Oid>,
+    user: usize,
+    submitted: SimTime,
+    measured: bool,
+    /// Demand awaiting the disk grant (writes, reads) and its site.
+    pending_io: Option<(Vec<u32>, Vec<u32>, usize)>,
+    /// Bytes awaiting the network grant.
+    pending_net: u64,
+    holding_cpu: bool,
+}
+
+impl ActiveTx {
+    fn current(&self) -> &Access {
+        &self.accesses[self.pos]
+    }
+}
+
+/// The VOODB evaluation model, generic over the Table 3 parameters.
+///
+/// Drive it through [`crate::experiment::Simulation`], which handles
+/// multi-phase studies (cold/warm runs, external clustering demands).
+pub struct VoodbModel<'a> {
+    base: &'a ObjectBase,
+    params: VoodbParams,
+    /// Transactions of the current phase.
+    transactions: Vec<Transaction>,
+    /// Index below which transactions are an unmeasured cold run.
+    cold_count: usize,
+    next_tx: usize,
+    // ----- active resources (components) -----
+    oman: ObjectManager,
+    bman: Vec<BufferingManager>,
+    cman: ClusteringManager,
+    iosub: Vec<IoSubsystem>,
+    prefetcher: Box<dyn PrefetchPolicy>,
+    // ----- passive resources (Table 1) -----
+    scheduler: Resource<Event>,
+    cpu: Resource<Event>,
+    disks: Vec<Resource<Event>>,
+    network: Resource<Event>,
+    // ----- users -----
+    think_stream: RandomStream,
+    think_time_ms: f64,
+    // ----- bookkeeping -----
+    active: HashMap<Tid, ActiveTx>,
+    next_tid: Tid,
+    completed: usize,
+    measured_completed: usize,
+    response: Welford,
+    measure_started: bool,
+    io_mark: SimIoCounts,
+    hits_mark: (u64, u64),
+    measure_start: SimTime,
+    phase_end: SimTime,
+    reorgs: Vec<SimReorgReport>,
+    hazards: HazardModule,
+    locks: LockManager,
+    aborts: u64,
+}
+
+impl<'a> VoodbModel<'a> {
+    /// Builds the model over `base` with the Table 3 parameters and the
+    /// users' think time (OCB `THINKTIME`).
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid.
+    pub fn new(
+        base: &'a ObjectBase,
+        params: VoodbParams,
+        think_time_ms: f64,
+        seed: u64,
+    ) -> Self {
+        params.validate().expect("invalid VOODB parameters");
+        let placement = params.initial_placement.build(base, params.page_size);
+        let oman = ObjectManager::new(&placement);
+        let sites = params.system_class.server_count();
+        let per_site = (params.buffer_pages / sites).max(2);
+        let bman = (0..sites)
+            .map(|_| {
+                if params.swizzle {
+                    BufferingManager::swizzling(per_site)
+                } else {
+                    BufferingManager::standard(per_site, params.page_replacement)
+                }
+            })
+            .collect();
+        let iosub = (0..sites).map(|_| IoSubsystem::new(params.disk)).collect();
+        let disks = (0..sites)
+            .map(|i| Resource::new(format!("disk-{i}"), 1))
+            .collect();
+        let cman = ClusteringManager::new(&params.clustering);
+        let prefetcher = params.prefetch.build();
+        let hazards = HazardModule::new(params.hazards, seed);
+        VoodbModel {
+            base,
+            scheduler: Resource::new("scheduler", params.multiprogramming_level),
+            cpu: Resource::new("cpu", 1),
+            network: Resource::new("network", 1),
+            oman,
+            bman,
+            cman,
+            iosub,
+            disks,
+            prefetcher,
+            think_stream: RandomStream::new(seed ^ 0x7454_494E_4B45_5221),
+            think_time_ms,
+            params,
+            transactions: Vec::new(),
+            cold_count: 0,
+            next_tx: 0,
+            active: HashMap::new(),
+            next_tid: 0,
+            completed: 0,
+            measured_completed: 0,
+            response: Welford::new(),
+            measure_started: false,
+            io_mark: SimIoCounts::default(),
+            hits_mark: (0, 0),
+            measure_start: SimTime::ZERO,
+            phase_end: SimTime::ZERO,
+            reorgs: Vec::new(),
+            hazards,
+            locks: LockManager::new(),
+            aborts: 0,
+        }
+    }
+
+    /// Lock-manager counters (meaningful under
+    /// [`ConcurrencyControl::TwoPhase`]).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Deadlock aborts (and restarts) so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Continues an access once its lock is held: GETLOCK CPU on first
+    /// touch, then the storage pipeline.
+    fn after_lock_granted(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+        let needs_lock_time = {
+            let t = self.active.get_mut(&tid).expect("active");
+            let oid = t.accesses[t.pos].oid;
+            t.locked.insert(oid)
+        };
+        if needs_lock_time && self.params.get_lock_ms > 0.0 {
+            self.cpu.request(Event::LockCpu(tid), ctx);
+        } else {
+            self.access_storage(tid, ctx);
+        }
+    }
+
+    /// Deadlock victim: release everything, restart from the top after a
+    /// backoff (the victim keeps its scheduler slot — a restart, not a
+    /// resubmission).
+    fn abort_and_restart(&mut self, tid: Tid, backoff_ms: f64, ctx: &mut Context<'_, Event>) {
+        self.aborts += 1;
+        let resumed = self.locks.release_all(tid);
+        for other in resumed {
+            ctx.schedule_now(Event::LockResume(other));
+        }
+        let t = self.active.get_mut(&tid).expect("active");
+        t.pos = 0;
+        t.locked.clear();
+        t.pending_io = None;
+        ctx.schedule(backoff_ms, Event::TxRestart(tid));
+    }
+
+    /// The hazard module's accumulated report.
+    pub fn hazard_report(&self) -> HazardReport {
+        self.hazards.report()
+    }
+
+    /// True while the phase still has work (hazards re-arm only then, so
+    /// the event list drains when the workload completes).
+    fn work_remaining(&self) -> bool {
+        self.next_tx < self.transactions.len() || !self.active.is_empty()
+    }
+
+    /// Arms the next strike of `kind`, if configured and work remains.
+    fn arm_hazard(&mut self, kind: HazardKind, ctx: &mut Context<'_, Event>) {
+        if !self.work_remaining() {
+            return;
+        }
+        let delay = match kind {
+            HazardKind::Benign => self.hazards.next_benign_ms(),
+            HazardKind::Serious => self.hazards.next_serious_ms(),
+        };
+        if let Some(delay) = delay {
+            ctx.schedule(delay, Event::HazardStrike(kind));
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &VoodbParams {
+        &self.params
+    }
+
+    /// The Object Manager (page map inspection).
+    pub fn oman(&self) -> &ObjectManager {
+        &self.oman
+    }
+
+    /// The Clustering Manager.
+    pub fn cman(&self) -> &ClusteringManager {
+        &self.cman
+    }
+
+    /// Mutable Clustering Manager access (external demands, statistics).
+    pub fn cman_mut(&mut self) -> &mut ClusteringManager {
+        &mut self.cman
+    }
+
+    /// Total I/Os over all server sites.
+    pub fn total_io(&self) -> SimIoCounts {
+        let mut total = SimIoCounts::default();
+        for io in &self.iosub {
+            total.reads += io.counts().reads;
+            total.writes += io.counts().writes;
+        }
+        total
+    }
+
+    fn total_hits_misses(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for b in &self.bman {
+            hits += b.stats().hits;
+            misses += b.stats().misses;
+        }
+        (hits, misses)
+    }
+
+    /// Loads a phase: `transactions` with the first `cold_count` unmeasured.
+    /// Resets phase bookkeeping but **keeps** buffer/placement/statistics
+    /// state (a warm continuation; flush explicitly for a cold restart).
+    pub fn load_phase(&mut self, transactions: Vec<Transaction>, cold_count: usize) {
+        assert!(cold_count <= transactions.len());
+        self.transactions = transactions;
+        self.cold_count = cold_count;
+        self.next_tx = 0;
+        self.active.clear();
+        self.completed = 0;
+        self.measured_completed = 0;
+        self.response = Welford::new();
+        self.measure_started = false;
+        self.io_mark = self.total_io();
+        self.hits_mark = self.total_hits_misses();
+        self.measure_start = SimTime::ZERO;
+        self.phase_end = SimTime::ZERO;
+        self.reorgs.clear();
+    }
+
+    /// Empties every buffer (cold restart between phases).
+    pub fn flush_buffers(&mut self) {
+        for site in 0..self.bman.len() {
+            let dirty = self.bman[site].flush_all();
+            for page in dirty {
+                self.iosub[site].write(page);
+            }
+        }
+    }
+
+    /// Performs an externally demanded reorganisation (the knowledge
+    /// model's *external triggering* path), between phases.
+    pub fn external_reorganize(&mut self) -> SimReorgReport {
+        self.cman
+            .reorganize(self.base, &mut self.oman, &mut self.bman[0], &mut self.iosub[0])
+    }
+
+    /// Extracts the finished phase's results. Call after the engine run.
+    pub fn phase_result(&self, events: u64) -> PhaseResult {
+        let io = self.total_io().since(self.io_mark);
+        let (hits, misses) = self.total_hits_misses();
+        let (h0, m0) = self.hits_mark;
+        let (dh, dm) = (hits - h0, misses - m0);
+        let window_ms = (self.phase_end.saturating_since(self.measure_start)).as_ms();
+        PhaseResult {
+            transactions: self.measured_completed,
+            io,
+            mean_response_ms: self.response.mean(),
+            throughput_tps: if window_ms > 0.0 {
+                self.measured_completed as f64 / (window_ms / 1000.0)
+            } else {
+                0.0
+            },
+            hit_ratio: if dh + dm == 0 {
+                0.0
+            } else {
+                dh as f64 / (dh + dm) as f64
+            },
+            sim_elapsed_ms: window_ms,
+            events,
+            reorgs: self.reorgs.clone(),
+        }
+    }
+
+    fn site_of(&self, page: u32) -> usize {
+        (page as usize) % self.bman.len()
+    }
+
+    fn think_delay(&mut self) -> f64 {
+        if self.think_time_ms > 0.0 {
+            self.think_stream.expo(self.think_time_ms)
+        } else {
+            0.0
+        }
+    }
+
+    /// Users activity: submit the next transaction, if any remain.
+    fn submit_next(&mut self, user: usize, ctx: &mut Context<'_, Event>) {
+        if self.next_tx >= self.transactions.len() {
+            return; // This user is done.
+        }
+        let index = self.next_tx;
+        self.next_tx += 1;
+        let transaction = &self.transactions[index];
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.active.insert(
+            tid,
+            ActiveTx {
+                accesses: transaction.accesses.clone(),
+                pos: 0,
+                locked: HashSet::new(),
+                user,
+                submitted: ctx.now(),
+                measured: index >= self.cold_count,
+                pending_io: None,
+                pending_net: 0,
+                holding_cpu: false,
+            },
+        );
+        // Transaction Manager admission through the scheduler (MPL).
+        self.scheduler.request(Event::Admitted(tid), ctx);
+    }
+
+    /// Buffering Manager + I/O Subsystem step for the current access.
+    fn access_storage(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+        let (oid, write) = {
+            let t = &self.active[&tid];
+            (t.current().oid, t.current().write)
+        };
+        let page = self.oman.page_of(oid);
+        let site = self.site_of(page);
+        let demand = self.bman[site].access(page, write);
+        let mut writes = demand.writes;
+        let mut reads = demand.reads;
+        // Prefetching (Table 3 PREFETCH) on a miss.
+        if !demand.hit {
+            let staged = self
+                .prefetcher
+                .after_miss(page, self.oman.page_count());
+            for p in staged {
+                if self.site_of(p) == site {
+                    let extra = self.bman[site].prefetch(p);
+                    writes.extend(extra.writes);
+                    reads.extend(extra.reads);
+                }
+            }
+        }
+        if writes.is_empty() && reads.is_empty() {
+            self.leave_storage(tid, page, ctx);
+        } else {
+            let t = self.active.get_mut(&tid).expect("active");
+            t.pending_io = Some((writes, reads, site));
+            self.disks[site].request(Event::DiskGranted(tid), ctx);
+        }
+    }
+
+    /// After the page is available: network shipping for client-server
+    /// classes, then the access completes.
+    fn leave_storage(&mut self, tid: Tid, _page: u32, ctx: &mut Context<'_, Event>) {
+        let bytes = match self.params.system_class {
+            SystemClass::Centralized => 0,
+            SystemClass::PageServer | SystemClass::HybridMultiServer { .. } => {
+                self.params.page_size as u64
+            }
+            SystemClass::ObjectServer | SystemClass::DbServer => {
+                let t = &self.active[&tid];
+                self.base.object(t.current().oid).size as u64
+            }
+        };
+        let ms = self.params.transfer_ms(bytes);
+        if ms > 0.0 {
+            let t = self.active.get_mut(&tid).expect("active");
+            t.pending_net = bytes;
+            self.network.request(Event::NetGranted(tid), ctx);
+        } else {
+            ctx.schedule_now(Event::AccessDone(tid));
+        }
+    }
+
+    /// Commit: lock releases, scheduler release, statistics, user restart.
+    fn begin_commit(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+        let locked = self.active[&tid].locked.len();
+        if self.params.release_lock_ms > 0.0 && locked > 0 {
+            self.cpu.request(Event::CommitCpu(tid), ctx);
+        } else {
+            ctx.schedule_now(Event::Committed(tid));
+        }
+    }
+
+    fn finish_transaction(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+        if matches!(self.params.concurrency, ConcurrencyControl::TwoPhase { .. }) {
+            for other in self.locks.release_all(tid) {
+                ctx.schedule_now(Event::LockResume(other));
+            }
+        }
+        let t = self.active.remove(&tid).expect("active transaction");
+        if t.holding_cpu {
+            self.cpu.release(ctx);
+        }
+        self.scheduler.release(ctx);
+        self.completed += 1;
+        if t.measured {
+            self.measured_completed += 1;
+            self.response
+                .add(ctx.now().saturating_since(t.submitted).as_ms());
+        }
+        self.phase_end = ctx.now();
+        // Clustering Manager: automatic triggering (Fig. 4).
+        if self.cman.should_trigger() {
+            self.disks[0].request(Event::ReorgGranted { user: t.user }, ctx);
+        } else {
+            let delay = self.think_delay();
+            ctx.schedule(delay, Event::Submit { user: t.user });
+        }
+    }
+}
+
+impl Model for VoodbModel<'_> {
+    type Event = Event;
+
+    fn init(&mut self, ctx: &mut Context<'_, Event>) {
+        for user in 0..self.params.users {
+            let delay = self.think_delay();
+            ctx.schedule(delay, Event::Submit { user });
+        }
+        self.arm_hazard(HazardKind::Benign, ctx);
+        self.arm_hazard(HazardKind::Serious, ctx);
+    }
+
+    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event>) {
+        match event {
+            Event::Submit { user } => self.submit_next(user, ctx),
+            Event::Admitted(tid) => {
+                let measured = self.active[&tid].measured;
+                if measured && !self.measure_started {
+                    self.measure_started = true;
+                    self.io_mark = self.total_io();
+                    self.hits_mark = self.total_hits_misses();
+                    self.measure_start = ctx.now();
+                }
+                ctx.schedule_now(Event::StartAccess(tid));
+            }
+            Event::StartAccess(tid) => {
+                let done = {
+                    let t = &self.active[&tid];
+                    t.pos >= t.accesses.len()
+                };
+                if done {
+                    self.begin_commit(tid, ctx);
+                    return;
+                }
+                match self.params.concurrency {
+                    ConcurrencyControl::TimedOnly => self.after_lock_granted(tid, ctx),
+                    ConcurrencyControl::TwoPhase { restart_backoff_ms, deadlock } => {
+                        let (oid, mode) = {
+                            let t = &self.active[&tid];
+                            let access = &t.accesses[t.pos];
+                            (
+                                access.oid,
+                                if access.write {
+                                    LockMode::Exclusive
+                                } else {
+                                    LockMode::Shared
+                                },
+                            )
+                        };
+                        match self.locks.request(tid, oid, mode, deadlock) {
+                            LockOutcome::Granted => self.after_lock_granted(tid, ctx),
+                            LockOutcome::Queued => {
+                                // Parked: resumed by a LockResume when the
+                                // conflicting holder releases.
+                            }
+                            LockOutcome::Deadlock => {
+                                self.abort_and_restart(tid, restart_backoff_ms, ctx)
+                            }
+                        }
+                    }
+                }
+            }
+            Event::LockResume(tid) => {
+                // The lock manager already holds the lock for us.
+                self.after_lock_granted(tid, ctx);
+            }
+            Event::TxRestart(tid) => {
+                ctx.schedule_now(Event::StartAccess(tid));
+            }
+            Event::LockCpu(tid) => {
+                self.active.get_mut(&tid).expect("active").holding_cpu = true;
+                ctx.schedule(self.params.get_lock_ms, Event::LockHeld(tid));
+            }
+            Event::LockHeld(tid) => {
+                self.active.get_mut(&tid).expect("active").holding_cpu = false;
+                self.cpu.release(ctx);
+                self.access_storage(tid, ctx);
+            }
+            Event::DiskGranted(tid) => {
+                let (writes, reads, site) = self
+                    .active
+                    .get_mut(&tid)
+                    .expect("active")
+                    .pending_io
+                    .take()
+                    .expect("pending I/O");
+                let duration = self.iosub[site].service_batch(&writes, &reads);
+                // Remember the site for the release.
+                self.active.get_mut(&tid).expect("active").pending_io =
+                    Some((Vec::new(), Vec::new(), site));
+                ctx.schedule(duration, Event::DiskDone(tid));
+            }
+            Event::DiskDone(tid) => {
+                let site = self
+                    .active
+                    .get_mut(&tid)
+                    .expect("active")
+                    .pending_io
+                    .take()
+                    .expect("site marker")
+                    .2;
+                self.disks[site].release(ctx);
+                let page = {
+                    let t = &self.active[&tid];
+                    self.oman.page_of(t.current().oid)
+                };
+                self.leave_storage(tid, page, ctx);
+            }
+            Event::NetGranted(tid) => {
+                let bytes = self.active[&tid].pending_net;
+                let ms = self.params.transfer_ms(bytes);
+                ctx.schedule(ms, Event::NetDone(tid));
+            }
+            Event::NetDone(tid) => {
+                self.network.release(ctx);
+                ctx.schedule_now(Event::AccessDone(tid));
+            }
+            Event::AccessDone(tid) => {
+                let (parent, oid) = {
+                    let t = self.active.get_mut(&tid).expect("active");
+                    let access = t.accesses[t.pos];
+                    t.pos += 1;
+                    (access.parent, access.oid)
+                };
+                self.cman.observe(parent, oid);
+                ctx.schedule_now(Event::StartAccess(tid));
+            }
+            Event::CommitCpu(tid) => {
+                let locked = self.active[&tid].locked.len();
+                self.active.get_mut(&tid).expect("active").holding_cpu = true;
+                ctx.schedule(
+                    self.params.release_lock_ms * locked as f64,
+                    Event::Committed(tid),
+                );
+            }
+            Event::Committed(tid) => self.finish_transaction(tid, ctx),
+            Event::ReorgGranted { user } => {
+                let report = self.cman.reorganize(
+                    self.base,
+                    &mut self.oman,
+                    &mut self.bman[0],
+                    &mut self.iosub[0],
+                );
+                let duration = report.duration_ms;
+                self.reorgs.push(report);
+                ctx.schedule(duration, Event::ReorgDone { user });
+            }
+            Event::ReorgDone { user } => {
+                self.disks[0].release(ctx);
+                let delay = self.think_delay();
+                ctx.schedule(delay, Event::Submit { user });
+            }
+            Event::HazardStrike(kind) => {
+                if self.work_remaining() {
+                    self.disks[0].request(Event::HazardSeized(kind), ctx);
+                } // else: the phase is over, let the event list drain.
+            }
+            Event::HazardSeized(kind) => {
+                let mut outage = self.hazards.strike(kind);
+                if kind == HazardKind::Serious {
+                    // The crash loses every buffered page; dirty pages are
+                    // redone from the log (one write each, counted like
+                    // any other I/O and added to the outage).
+                    let mut redo_writes = 0u64;
+                    for site in 0..self.bman.len() {
+                        let lost_dirty = self.bman[site].flush_all();
+                        for page in lost_dirty {
+                            outage += self.iosub[site].write(page);
+                            redo_writes += 1;
+                        }
+                    }
+                    self.hazards.record_recovery(redo_writes);
+                }
+                self.hazards.record_downtime(outage);
+                ctx.schedule(outage, Event::HazardCleared(kind));
+            }
+            Event::HazardCleared(kind) => {
+                self.disks[0].release(ctx);
+                self.arm_hazard(kind, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desp::Engine;
+    use ocb::{DatabaseParams, WorkloadGenerator, WorkloadParams};
+
+    fn base() -> ObjectBase {
+        ObjectBase::generate(&DatabaseParams::small(), 31)
+    }
+
+    fn make_transactions(base: &ObjectBase, n: usize, seed: u64) -> Vec<Transaction> {
+        let params = WorkloadParams {
+            hot_transactions: n,
+            ..WorkloadParams::default()
+        };
+        let mut generator = WorkloadGenerator::new(base, params, seed);
+        (0..n).map(|_| generator.next_transaction()).collect()
+    }
+
+    fn small_params() -> VoodbParams {
+        VoodbParams {
+            buffer_pages: 64,
+            ..VoodbParams::default()
+        }
+    }
+
+    fn run_phase(
+        base: &ObjectBase,
+        params: VoodbParams,
+        transactions: Vec<Transaction>,
+    ) -> PhaseResult {
+        let mut model = VoodbModel::new(base, params, 0.0, 99);
+        model.load_phase(transactions, 0);
+        let mut engine = Engine::new(model);
+        let outcome = engine.run_to_completion();
+        engine.model().phase_result(outcome.events_dispatched)
+    }
+
+    #[test]
+    fn all_transactions_complete() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 7);
+        let result = run_phase(&base, small_params(), transactions);
+        assert_eq!(result.transactions, 30);
+        assert!(result.total_ios() > 0);
+        assert!(result.mean_response_ms > 0.0);
+        assert!(result.throughput_tps > 0.0);
+        assert!(result.sim_elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn cold_run_is_excluded_from_measurement() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 7);
+        let all = run_phase(&base, small_params(), transactions.clone());
+        let mut model = VoodbModel::new(&base, small_params(), 0.0, 99);
+        model.load_phase(transactions, 10);
+        let mut engine = Engine::new(model);
+        let outcome = engine.run_to_completion();
+        let measured = engine.model().phase_result(outcome.events_dispatched);
+        assert_eq!(measured.transactions, 20);
+        assert!(
+            measured.total_ios() < all.total_ios(),
+            "cold I/Os must be excluded"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let base = base();
+        let run = || {
+            let transactions = make_transactions(&base, 25, 3);
+            run_phase(&base, small_params(), transactions)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_ios(), b.total_ios());
+        assert_eq!(a.transactions, b.transactions);
+        assert!((a.mean_response_ms - b.mean_response_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_buffer_reduces_ios() {
+        let base = base();
+        let transactions = make_transactions(&base, 60, 11);
+        let small = run_phase(
+            &base,
+            VoodbParams {
+                buffer_pages: 8,
+                ..VoodbParams::default()
+            },
+            transactions.clone(),
+        );
+        let large = run_phase(
+            &base,
+            VoodbParams {
+                buffer_pages: 10_000,
+                ..VoodbParams::default()
+            },
+            transactions,
+        );
+        assert!(
+            large.total_ios() < small.total_ios(),
+            "large {} vs small {}",
+            large.total_ios(),
+            small.total_ios()
+        );
+        assert!(large.hit_ratio > small.hit_ratio);
+    }
+
+    #[test]
+    fn centralized_is_faster_than_slow_network_page_server() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 13);
+        let centralized = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::Centralized,
+                ..small_params()
+            },
+            transactions.clone(),
+        );
+        let page_server = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::PageServer,
+                network_throughput_mbps: 0.5,
+                ..small_params()
+            },
+            transactions,
+        );
+        // Same I/Os (identical buffer behaviour), different response times.
+        assert_eq!(centralized.total_ios(), page_server.total_ios());
+        assert!(centralized.mean_response_ms < page_server.mean_response_ms);
+    }
+
+    #[test]
+    fn object_server_ships_fewer_bytes_than_page_server() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 17);
+        let object_server = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::ObjectServer,
+                network_throughput_mbps: 1.0,
+                ..small_params()
+            },
+            transactions.clone(),
+        );
+        let page_server = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::PageServer,
+                network_throughput_mbps: 1.0,
+                ..small_params()
+            },
+            transactions,
+        );
+        // Mean object ≈ 1 KB < page 4 KB: object shipping responds faster.
+        assert!(object_server.mean_response_ms < page_server.mean_response_ms);
+    }
+
+    #[test]
+    fn swizzle_module_increases_pressure() {
+        let base = base();
+        let transactions = make_transactions(&base, 60, 19);
+        let plain = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::Centralized,
+                buffer_pages: 32,
+                swizzle: false,
+                ..VoodbParams::default()
+            },
+            transactions.clone(),
+        );
+        let swizzling = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::Centralized,
+                buffer_pages: 32,
+                swizzle: true,
+                ..VoodbParams::default()
+            },
+            transactions,
+        );
+        assert!(
+            swizzling.total_ios() > plain.total_ios(),
+            "swizzle swap-outs must inflate I/Os under pressure: {} vs {}",
+            swizzling.total_ios(),
+            plain.total_ios()
+        );
+    }
+
+    #[test]
+    fn hybrid_multiserver_distributes_ios() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 23);
+        let result = run_phase(
+            &base,
+            VoodbParams {
+                system_class: SystemClass::HybridMultiServer { servers: 3 },
+                network_throughput_mbps: f64::INFINITY,
+                buffer_pages: 96,
+                ..VoodbParams::default()
+            },
+            transactions,
+        );
+        assert_eq!(result.transactions, 30);
+        assert!(result.total_ios() > 0);
+    }
+
+    #[test]
+    fn multiuser_run_completes() {
+        let base = base();
+        let transactions = make_transactions(&base, 40, 29);
+        let result = run_phase(
+            &base,
+            VoodbParams {
+                users: 4,
+                multiprogramming_level: 2,
+                ..small_params()
+            },
+            transactions,
+        );
+        assert_eq!(result.transactions, 40);
+    }
+
+    #[test]
+    fn lock_times_increase_response_not_ios() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 31);
+        let free = run_phase(
+            &base,
+            VoodbParams {
+                get_lock_ms: 0.0,
+                release_lock_ms: 0.0,
+                ..small_params()
+            },
+            transactions.clone(),
+        );
+        let locky = run_phase(
+            &base,
+            VoodbParams {
+                get_lock_ms: 2.0,
+                release_lock_ms: 2.0,
+                ..small_params()
+            },
+            transactions,
+        );
+        assert_eq!(free.total_ios(), locky.total_ios());
+        assert!(locky.mean_response_ms > free.mean_response_ms);
+    }
+}

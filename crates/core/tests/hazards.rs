@@ -1,0 +1,127 @@
+//! Integration tests of the hazard-injection module (§5's "random
+//! hazards" extension).
+
+use ocb::{DatabaseParams, ObjectBase, WorkloadGenerator, WorkloadParams};
+use voodb::{HazardParams, Simulation, VoodbParams};
+
+fn base() -> ObjectBase {
+    ObjectBase::generate(&DatabaseParams::small(), 71)
+}
+
+fn transactions(base: &ObjectBase, n: usize, seed: u64) -> Vec<ocb::Transaction> {
+    let params = WorkloadParams {
+        hot_transactions: n,
+        p_write: 0.3, // dirty pages give crashes something to lose
+        ..WorkloadParams::default()
+    };
+    let mut generator = WorkloadGenerator::new(base, params, seed);
+    (0..n).map(|_| generator.next_transaction()).collect()
+}
+
+fn run(base: &ObjectBase, hazards: HazardParams, seed: u64) -> (voodb::PhaseResult, voodb::HazardReport) {
+    let txs = transactions(base, 60, seed);
+    let mut simulation = Simulation::new(
+        base,
+        VoodbParams {
+            buffer_pages: 256,
+            hazards,
+            ..VoodbParams::default()
+        },
+        0.0,
+        seed,
+    );
+    let result = simulation.run_phase(txs, 0);
+    let report = simulation.model().hazard_report();
+    (result, report)
+}
+
+#[test]
+fn disabled_hazards_change_nothing() {
+    let base = base();
+    let (clean, report) = run(&base, HazardParams::disabled(), 1);
+    assert_eq!(report.benign_failures, 0);
+    assert_eq!(report.serious_failures, 0);
+    assert_eq!(report.downtime_ms, 0.0);
+    assert_eq!(clean.transactions, 60);
+}
+
+#[test]
+fn benign_failures_stall_but_lose_nothing() {
+    let base = base();
+    let (clean, _) = run(&base, HazardParams::disabled(), 2);
+    let hazards = HazardParams {
+        benign_mtbf_ms: Some(2_000.0),
+        benign_outage_ms: 100.0,
+        ..HazardParams::disabled()
+    };
+    let (stalled, report) = run(&base, hazards, 2);
+    assert!(report.benign_failures > 0, "no benign failure struck");
+    assert_eq!(report.recovery_ios, 0, "benign failures lose no state");
+    // Same workload, same buffer trajectory: I/Os unchanged, time worse.
+    assert_eq!(stalled.total_ios(), clean.total_ios());
+    assert!(stalled.sim_elapsed_ms > clean.sim_elapsed_ms);
+    assert!(
+        (report.downtime_ms - report.benign_failures as f64 * 100.0).abs() < 1e-9
+    );
+}
+
+#[test]
+fn crashes_cost_recovery_ios_and_refaults() {
+    let base = base();
+    let (clean, _) = run(&base, HazardParams::disabled(), 3);
+    let hazards = HazardParams {
+        serious_mtbf_ms: Some(3_000.0),
+        serious_restart_ms: 500.0,
+        ..HazardParams::disabled()
+    };
+    let (crashed, report) = run(&base, hazards, 3);
+    assert!(report.serious_failures > 0, "no crash struck");
+    assert!(report.recovery_ios > 0, "dirty pages should need redo");
+    // Crashes lose the buffer: the workload re-faults pages, and the redo
+    // writes are counted — strictly more I/Os than the clean run.
+    assert!(
+        crashed.total_ios() > clean.total_ios(),
+        "crashed {} !> clean {}",
+        crashed.total_ios(),
+        clean.total_ios()
+    );
+    assert!(crashed.sim_elapsed_ms > clean.sim_elapsed_ms);
+    assert!(crashed.transactions == 60, "every transaction still completes");
+}
+
+#[test]
+fn hazard_schedules_are_seed_deterministic() {
+    let base = base();
+    let hazards = HazardParams {
+        benign_mtbf_ms: Some(1_500.0),
+        serious_mtbf_ms: Some(5_000.0),
+        ..HazardParams::disabled()
+    };
+    let (a, ra) = run(&base, hazards, 4);
+    let (b, rb) = run(&base, hazards, 4);
+    assert_eq!(a.total_ios(), b.total_ios());
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn higher_failure_rates_mean_more_downtime() {
+    let base = base();
+    let rare = HazardParams {
+        benign_mtbf_ms: Some(50_000.0),
+        benign_outage_ms: 100.0,
+        ..HazardParams::disabled()
+    };
+    let frequent = HazardParams {
+        benign_mtbf_ms: Some(500.0),
+        benign_outage_ms: 100.0,
+        ..HazardParams::disabled()
+    };
+    let (_, rare_report) = run(&base, rare, 5);
+    let (_, frequent_report) = run(&base, frequent, 5);
+    assert!(
+        frequent_report.benign_failures > rare_report.benign_failures,
+        "frequent {} !> rare {}",
+        frequent_report.benign_failures,
+        rare_report.benign_failures
+    );
+}

@@ -1,0 +1,490 @@
+//! The discrete-event simulation engine.
+//!
+//! DESP-C++ was organised around a *scheduler* owning a sorted event list
+//! and dispatching events to resource service methods. The Rust analog is
+//! an [`Engine`] owning a binary-heap event list and a user-supplied
+//! [`Model`]; the model's [`Model::handle`] method plays the role of the
+//! `SERVICE` clauses of QNAP2 / the event methods of DESP-C++ (Table 2 of
+//! the paper).
+//!
+//! Two properties the validation methodology depends on are guaranteed
+//! here:
+//!
+//! * **Determinism** — simultaneous events are dispatched in scheduling
+//!   order (ties broken by a monotone sequence number), so a replication is
+//!   a pure function of its seed.
+//! * **Monotone clock** — an event can never be scheduled in the past;
+//!   violations panic rather than silently corrupting the timeline.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: state plus an event handler.
+///
+/// Translation of the paper's knowledge model (Table 2): each *active
+/// resource* becomes a component of the implementing type, each *functioning
+/// rule* a method invoked from [`Model::handle`], and each *passive
+/// resource* a [`crate::resource::Resource`] field.
+pub trait Model {
+    /// The event vocabulary of the model.
+    type Event;
+
+    /// Called once before the first event is dispatched; schedules the
+    /// initial events (e.g. first transaction arrivals).
+    fn init(&mut self, ctx: &mut Context<'_, Self::Event>);
+
+    /// Handles one event occurrence at the current simulated instant.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// Entry in the event list: `(time, seq)` gives the deterministic total
+/// order.
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future event list.
+pub struct EventHeap<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    seq: u64,
+}
+
+impl<E> EventHeap<E> {
+    fn new() -> Self {
+        EventHeap {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { time, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The model's handle on the engine during event dispatch: the clock, the
+/// event list and the stop flag.
+pub struct Context<'a, E> {
+    now: SimTime,
+    heap: &'a mut EventHeap<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to occur `delay_ms` milliseconds from now.
+    ///
+    /// # Panics
+    /// Panics if `delay_ms` is negative or NaN.
+    #[inline]
+    pub fn schedule(&mut self, delay_ms: f64, event: E) {
+        assert!(
+            delay_ms >= 0.0,
+            "cannot schedule an event in the past (delay {delay_ms})"
+        );
+        self.heap.push(self.now + delay_ms, event);
+    }
+
+    /// Schedules `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current instant.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        self.heap.push(at, event);
+    }
+
+    /// Schedules `event` to occur immediately (after already-pending events
+    /// at the same instant).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.heap.push(self.now, event);
+    }
+
+    /// Requests termination of the run after the current event.
+    #[inline]
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Number of pending events (diagnostic).
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Why a run returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event list drained.
+    Exhausted,
+    /// The model called [`Context::stop`].
+    Stopped,
+    /// The time horizon passed to [`Engine::run_until`] was reached.
+    Horizon,
+    /// The event budget passed to [`Engine::run_steps`] was consumed.
+    Budget,
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Why the run returned.
+    pub reason: StopReason,
+    /// Clock value when the run returned.
+    pub end_time: SimTime,
+    /// Events dispatched during this call.
+    pub events_dispatched: u64,
+}
+
+/// The simulation engine: owns the model, the clock and the event list.
+pub struct Engine<M: Model> {
+    model: M,
+    heap: EventHeap<M::Event>,
+    clock: SimTime,
+    stop: bool,
+    dispatched: u64,
+    initialised: bool,
+}
+
+impl<M: Model> Engine<M> {
+    /// Wraps `model`; the model's `init` runs on the first `run_*` call.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            heap: EventHeap::new(),
+            clock: SimTime::ZERO,
+            stop: false,
+            dispatched: 0,
+            initialised: false,
+        }
+    }
+
+    /// Immutable access to the model (for reading statistics).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for configuring between phases).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Total events dispatched over the engine's lifetime.
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    fn ensure_init(&mut self) {
+        if !self.initialised {
+            self.initialised = true;
+            let mut ctx = Context {
+                now: self.clock,
+                heap: &mut self.heap,
+                stop: &mut self.stop,
+            };
+            self.model.init(&mut ctx);
+        }
+    }
+
+    /// Dispatches a single event. Returns `false` when nothing remains.
+    pub fn step(&mut self) -> bool {
+        self.ensure_init();
+        if self.stop {
+            return false;
+        }
+        let Some((time, event)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.clock, "event list yielded a past event");
+        self.clock = time;
+        self.dispatched += 1;
+        let mut ctx = Context {
+            now: self.clock,
+            heap: &mut self.heap,
+            stop: &mut self.stop,
+        };
+        self.model.handle(event, &mut ctx);
+        true
+    }
+
+    /// Runs until the event list drains or the model stops the run.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        let start = self.dispatched;
+        while self.step() {}
+        RunOutcome {
+            reason: if self.stop {
+                StopReason::Stopped
+            } else {
+                StopReason::Exhausted
+            },
+            end_time: self.clock,
+            events_dispatched: self.dispatched - start,
+        }
+    }
+
+    /// Runs until the clock would pass `horizon` (events strictly later are
+    /// left pending), the list drains, or the model stops the run.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.ensure_init();
+        let start = self.dispatched;
+        loop {
+            if self.stop {
+                return RunOutcome {
+                    reason: StopReason::Stopped,
+                    end_time: self.clock,
+                    events_dispatched: self.dispatched - start,
+                };
+            }
+            // Peek: stop before dispatching an event past the horizon.
+            match self.heap.heap.peek() {
+                None => {
+                    return RunOutcome {
+                        reason: StopReason::Exhausted,
+                        end_time: self.clock,
+                        events_dispatched: self.dispatched - start,
+                    }
+                }
+                Some(entry) if entry.time > horizon => {
+                    self.clock = horizon;
+                    return RunOutcome {
+                        reason: StopReason::Horizon,
+                        end_time: self.clock,
+                        events_dispatched: self.dispatched - start,
+                    };
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Dispatches at most `budget` events.
+    pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
+        self.ensure_init();
+        let start = self.dispatched;
+        for _ in 0..budget {
+            if !self.step() {
+                return RunOutcome {
+                    reason: if self.stop {
+                        StopReason::Stopped
+                    } else {
+                        StopReason::Exhausted
+                    },
+                    end_time: self.clock,
+                    events_dispatched: self.dispatched - start,
+                };
+            }
+        }
+        RunOutcome {
+            reason: StopReason::Budget,
+            end_time: self.clock,
+            events_dispatched: self.dispatched - start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records the order in which its events fire.
+    struct Recorder {
+        fired: Vec<(f64, u32)>,
+        to_schedule: Vec<(f64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+            for &(t, id) in &self.to_schedule {
+                ctx.schedule(t, id);
+            }
+        }
+        fn handle(&mut self, event: u32, ctx: &mut Context<'_, u32>) {
+            self.fired.push((ctx.now().as_ms(), event));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let model = Recorder {
+            fired: vec![],
+            to_schedule: vec![(5.0, 1), (1.0, 2), (3.0, 3)],
+        };
+        let mut engine = Engine::new(model);
+        let outcome = engine.run_to_completion();
+        assert_eq!(outcome.reason, StopReason::Exhausted);
+        assert_eq!(outcome.events_dispatched, 3);
+        assert_eq!(
+            engine.model().fired,
+            vec![(1.0, 2), (3.0, 3), (5.0, 1)]
+        );
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let model = Recorder {
+            fired: vec![],
+            to_schedule: vec![(2.0, 10), (2.0, 11), (2.0, 12)],
+        };
+        let mut engine = Engine::new(model);
+        engine.run_to_completion();
+        assert_eq!(
+            engine.model().fired,
+            vec![(2.0, 10), (2.0, 11), (2.0, 12)]
+        );
+    }
+
+    /// A model that reschedules itself forever (stopped via horizon/budget).
+    struct Ticker {
+        ticks: u64,
+        period: f64,
+        stop_after: Option<u64>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn init(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.schedule(self.period, ());
+        }
+        fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+            self.ticks += 1;
+            if let Some(limit) = self.stop_after {
+                if self.ticks >= limit {
+                    ctx.stop();
+                    return;
+                }
+            }
+            ctx.schedule(self.period, ());
+        }
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut engine = Engine::new(Ticker {
+            ticks: 0,
+            period: 1.0,
+            stop_after: None,
+        });
+        let outcome = engine.run_until(SimTime::from_ms(10.5));
+        assert_eq!(outcome.reason, StopReason::Horizon);
+        assert_eq!(engine.model().ticks, 10);
+        assert_eq!(engine.now(), SimTime::from_ms(10.5));
+        // Resuming continues from pending events.
+        let outcome = engine.run_until(SimTime::from_ms(20.0));
+        assert_eq!(outcome.reason, StopReason::Horizon);
+        assert_eq!(engine.model().ticks, 20);
+    }
+
+    #[test]
+    fn model_stop_terminates_run() {
+        let mut engine = Engine::new(Ticker {
+            ticks: 0,
+            period: 1.0,
+            stop_after: Some(5),
+        });
+        let outcome = engine.run_to_completion();
+        assert_eq!(outcome.reason, StopReason::Stopped);
+        assert_eq!(engine.model().ticks, 5);
+        assert_eq!(engine.now(), SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn run_steps_respects_budget() {
+        let mut engine = Engine::new(Ticker {
+            ticks: 0,
+            period: 2.0,
+            stop_after: None,
+        });
+        let outcome = engine.run_steps(7);
+        assert_eq!(outcome.reason, StopReason::Budget);
+        assert_eq!(engine.model().ticks, 7);
+        assert_eq!(outcome.events_dispatched, 7);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        struct Chain {
+            times: Vec<f64>,
+        }
+        impl Model for Chain {
+            type Event = u32;
+            fn init(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.schedule(1.0, 0);
+            }
+            fn handle(&mut self, n: u32, ctx: &mut Context<'_, u32>) {
+                self.times.push(ctx.now().as_ms());
+                if n < 20 {
+                    // Mixture of zero and positive delays.
+                    ctx.schedule(if n.is_multiple_of(3) { 0.0 } else { 0.5 }, n + 1);
+                }
+            }
+        }
+        let mut engine = Engine::new(Chain { times: vec![] });
+        engine.run_to_completion();
+        let times = &engine.model().times;
+        assert_eq!(times.len(), 21);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0], "clock went backwards: {w:?}");
+        }
+    }
+}

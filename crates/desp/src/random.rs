@@ -1,0 +1,539 @@
+//! Random-number streams for discrete-event random simulation.
+//!
+//! DESP-C++ gave each stochastic activity of a model its own independent
+//! random stream so that changing one activity (e.g. the transaction mix)
+//! does not perturb the draws of another (e.g. disk service noise). This
+//! module reproduces that design:
+//!
+//! * [`Xoshiro256`] — a small, fast, well-tested generator
+//!   (xoshiro256++ by Blackman & Vigna) implemented here so that replication
+//!   results are bit-reproducible regardless of the `rand` crate version.
+//!   It implements [`rand::TryRng`] (hence `rand::Rng`) and
+//!   [`rand::SeedableRng`], so the whole
+//!   `rand` ecosystem of adaptors remains usable on top of it.
+//! * [`RandomStream`] — a stream with the distribution samplers a database
+//!   simulation needs: uniforms, exponentials (Poisson arrivals), normals,
+//!   Bernoulli trials, discrete choices, and Zipf selection for skewed
+//!   object access.
+//! * [`StreamFamily`] — derives an unbounded family of *independent* streams
+//!   from a single experiment seed (stream `i` of seed `s` never overlaps
+//!   stream `j`, seeds are decorrelated with SplitMix64).
+
+use rand::{Rng as _, SeedableRng, TryRng};
+use std::convert::Infallible;
+
+/// SplitMix64 step, used for seed expansion (recommended by the xoshiro
+/// authors for initialising state from a single 64-bit seed).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Period 2^256 − 1; passes BigCrush. Chosen over `StdRng` so that the
+/// simulation results recorded in `EXPERIMENTS.md` stay reproducible even
+/// across major `rand` releases.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; SplitMix64 cannot produce
+        // four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x1;
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+// Implementing the infallible `TryRng` grants the blanket `rand::Rng` impl,
+// so the whole `rand` ecosystem of adaptors works on `Xoshiro256`.
+impl TryRng for Xoshiro256 {
+    type Error = Infallible;
+
+    #[inline]
+    fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+        Ok((self.next() >> 32) as u32)
+    }
+
+    #[inline]
+    fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+        Ok(self.next())
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, slot) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *slot = u64::from_le_bytes(b);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x1;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        Xoshiro256::from_seed_u64(state)
+    }
+}
+
+/// A random stream: one generator plus the samplers simulation models need.
+#[derive(Clone, Debug)]
+pub struct RandomStream {
+    rng: Xoshiro256,
+    /// Cached second variate of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl RandomStream {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStream {
+            rng: Xoshiro256::from_seed_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// A uniform variate in `[0, 1)`, with 53 bits of precision.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        // 53 high bits → [0,1) with full double precision.
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform variate in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low > high`.
+    #[inline]
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low <= high, "uniform: low {low} > high {high}");
+        low + (high - low) * self.uniform01()
+    }
+
+    /// A uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        let n = n as u64;
+        // Lemire's nearly-divisionless rejection sampling.
+        let mut x = self.rng.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.rng.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// A uniform integer in the inclusive range `[low, high]`.
+    #[inline]
+    pub fn int_range(&mut self, low: usize, high: usize) -> usize {
+        assert!(low <= high, "int_range: low {low} > high {high}");
+        low + self.index(high - low + 1)
+    }
+
+    /// An exponential variate with the given **mean** (i.e. rate `1/mean`).
+    ///
+    /// This is the inter-arrival distribution of Poisson arrivals, and the
+    /// distribution QNAP2's `EXP(mean)` denotes — DESP-C++ kept the same
+    /// mean-parameterised convention, and so do we.
+    #[inline]
+    pub fn expo(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "expo: mean must be positive");
+        // 1 - U avoids ln(0).
+        -mean * (1.0 - self.uniform01()).ln()
+    }
+
+    /// A Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform01() < p
+    }
+
+    /// A normal variate (Box–Muller with caching of the paired variate).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return mean + std_dev * z;
+        }
+        // Polar Box–Muller.
+        loop {
+            let u = 2.0 * self.uniform01() - 1.0;
+            let v = 2.0 * self.uniform01() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * f);
+                return mean + std_dev * (u * f);
+            }
+        }
+    }
+
+    /// Chooses an index according to a slice of non-negative weights.
+    ///
+    /// Used for the OCB transaction mix (PSET/PSIMPLE/PHIER/PSTOCH).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "choose_weighted: empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "choose_weighted: weights sum to zero");
+        let mut x = self.uniform01() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Access to the underlying generator, for interoperation with `rand`
+    /// adaptors (e.g. `rand::seq` shuffles).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        &mut self.rng
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Derives an unbounded family of independent [`RandomStream`]s from one
+/// experiment seed.
+///
+/// Stream identifiers are stable: `(seed, id)` always yields the same
+/// stream, which is what makes a replication reproducible from its seed
+/// alone (DESIGN.md decision 2).
+#[derive(Clone, Debug)]
+pub struct StreamFamily {
+    seed: u64,
+}
+
+impl StreamFamily {
+    /// Creates the family rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        StreamFamily { seed }
+    }
+
+    /// The experiment seed the family was rooted at.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns stream number `id`.
+    pub fn stream(&self, id: u64) -> RandomStream {
+        // Decorrelate (seed, id) pairs through two SplitMix64 rounds.
+        let mut s = self.seed ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(id.wrapping_add(1));
+        let a = splitmix64(&mut s);
+        let _ = splitmix64(&mut s);
+        RandomStream::new(a ^ s)
+    }
+}
+
+/// Zipf-distributed selection over `{0, 1, …, n−1}` with skew `theta`.
+///
+/// Rank 0 is the most popular element. `theta = 0` degenerates to the
+/// uniform distribution; `theta ≈ 1` is the classical Zipf law used for
+/// hot-spot object access in OCB-style workloads.
+///
+/// Implemented with a precomputed cumulative table and binary search:
+/// building is O(n), sampling O(log n). The object bases simulated here are
+/// at most tens of thousands of objects, so the table is cheap and exact.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` elements with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(theta >= 0.0, "Zipf: theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point undershoot at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler covers no elements (never: `new` rejects n = 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, stream: &mut RandomStream) -> usize {
+        let u = stream.uniform01();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = RandomStream::new(42);
+        let mut b = RandomStream::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RandomStream::new(1);
+        let mut b = RandomStream::new(2);
+        let same = (0..64).filter(|_| a.rng().next_u64() == b.rng().next_u64()).count();
+        assert!(same < 2, "streams with different seeds should diverge");
+    }
+
+    #[test]
+    fn uniform01_in_range_and_mean_correct() {
+        let mut s = RandomStream::new(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = s.uniform01();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn expo_mean_matches() {
+        let mut s = RandomStream::new(11);
+        let n = 200_000;
+        let mean_param = 3.5;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = s.expo(mean_param);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - mean_param).abs() < 0.05,
+            "expo mean {mean} should approximate {mean_param}"
+        );
+    }
+
+    #[test]
+    fn index_is_unbiased_enough() {
+        let mut s = RandomStream::new(13);
+        let n = 5;
+        let mut counts = [0usize; 5];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[s.index(n)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / draws as f64;
+            assert!((frac - 0.2).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn int_range_inclusive_bounds() {
+        let mut s = RandomStream::new(17);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..10_000 {
+            let v = s.int_range(3, 6);
+            assert!((3..=6).contains(&v));
+            saw_low |= v == 3;
+            saw_high |= v == 6;
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut s = RandomStream::new(19);
+        let n = 200_000;
+        let (mu, sd) = (10.0, 2.0);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = s.normal(mu, sd);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - mu).abs() < 0.05);
+        assert!((var - sd * sd).abs() < 0.1);
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut s = RandomStream::new(23);
+        let w = [0.25, 0.25, 0.25, 0.25];
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[s.choose_weighted(&w)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 100_000.0;
+            assert!((frac - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn choose_weighted_zero_weight_never_chosen() {
+        let mut s = RandomStream::new(29);
+        let w = [1.0, 0.0, 1.0];
+        for _ in 0..10_000 {
+            assert_ne!(s.choose_weighted(&w), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut s = RandomStream::new(31);
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut s)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 100_000.0 - 0.25).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut s = RandomStream::new(37);
+        let mut first_decile = 0usize;
+        let draws = 100_000;
+        for _ in 0..draws {
+            if z.sample(&mut s) < 10 {
+                first_decile += 1;
+            }
+        }
+        // With theta=1, P(rank < 10) = H(10)/H(100) ≈ 0.565.
+        let frac = first_decile as f64 / draws as f64;
+        assert!(frac > 0.5, "Zipf skew too weak: {frac}");
+    }
+
+    #[test]
+    fn stream_family_streams_are_independent() {
+        let fam = StreamFamily::new(99);
+        let mut s0 = fam.stream(0);
+        let mut s1 = fam.stream(1);
+        let equal = (0..64).filter(|_| s0.rng().next_u64() == s1.rng().next_u64()).count();
+        assert!(equal < 2);
+        // Stability: same (seed, id) → same stream.
+        let mut s0b = StreamFamily::new(99).stream(0);
+        let mut s0c = fam.stream(0);
+        for _ in 0..16 {
+            assert_eq!(s0b.rng().next_u64(), s0c.rng().next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut s = RandomStream::new(41);
+        let mut v: Vec<u32> = (0..100).collect();
+        s.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = Xoshiro256::from_seed_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

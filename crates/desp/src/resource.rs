@@ -1,0 +1,457 @@
+//! Passive resources.
+//!
+//! Table 1 of the paper lists VOODB's passive resources: server processor
+//! and memory, client processors, the disk controller, and the database
+//! scheduler enforcing the multiprogramming level. DESP-C++ modelled all of
+//! them as `Resource` objects offering *reserve* and *release* operations;
+//! this module is the Rust translation.
+//!
+//! A [`Resource`] has `capacity` identical units. A *request* either grants
+//! a unit immediately (the continuation event is scheduled at the current
+//! instant) or queues the continuation under the configured
+//! [`Discipline`]. A *release* frees one unit and wakes the next waiter.
+//! Utilisation, queue length (time-weighted) and waiting times are recorded
+//! automatically, mirroring QNAP2's standard station reports.
+
+use crate::engine::Context;
+use crate::stats::{TimeWeighted, Welford};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Queueing discipline for waiters on a [`Resource`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// First come, first served (QNAP2's FIFO default).
+    #[default]
+    Fifo,
+    /// Last come, first served.
+    Lifo,
+    /// Highest priority first; ties broken FIFO.
+    Priority,
+}
+
+struct Waiter<E> {
+    event: E,
+    priority: i64,
+    enqueued_at: SimTime,
+    seq: u64,
+}
+
+/// A passive resource with `capacity` units and a waiting queue.
+pub struct Resource<E> {
+    name: String,
+    capacity: usize,
+    busy: usize,
+    discipline: Discipline,
+    queue: VecDeque<Waiter<E>>,
+    seq: u64,
+    /// Waiting time per grant (zero for immediate grants).
+    wait: Welford,
+    /// Time-weighted number of waiters.
+    queue_len: TimeWeighted,
+    /// Time-weighted busy units (divide by capacity for utilisation).
+    busy_units: TimeWeighted,
+    grants: u64,
+}
+
+impl<E> Resource<E> {
+    /// Creates a resource with the given unit count and FIFO discipline.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Resource {
+            name: name.into(),
+            capacity,
+            busy: 0,
+            discipline: Discipline::Fifo,
+            queue: VecDeque::new(),
+            seq: 0,
+            wait: Welford::new(),
+            queue_len: TimeWeighted::new(),
+            busy_units: TimeWeighted::new(),
+            grants: 0,
+        }
+    }
+
+    /// Sets the queueing discipline (builder style).
+    pub fn with_discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// The resource's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total units.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Units currently granted.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Units currently free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.busy
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total grants so far.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Changes the capacity mid-run (used when a model re-parameterises
+    /// between phases). Shrinking below the number of busy units is allowed:
+    /// excess units disappear as they are released.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0);
+        self.capacity = capacity;
+    }
+
+    fn record_state(&mut self, now: SimTime) {
+        self.queue_len.update(now.as_ms(), self.queue.len() as f64);
+        self.busy_units
+            .update(now.as_ms(), self.busy.min(self.capacity) as f64);
+    }
+
+    /// Requests one unit; `continuation` fires (at the current instant) when
+    /// the unit is granted.
+    pub fn request(&mut self, continuation: E, ctx: &mut Context<'_, E>) {
+        self.request_with_priority(continuation, 0, ctx);
+    }
+
+    /// Requests one unit with a priority (only meaningful under
+    /// [`Discipline::Priority`]; higher values are served first).
+    pub fn request_with_priority(
+        &mut self,
+        continuation: E,
+        priority: i64,
+        ctx: &mut Context<'_, E>,
+    ) {
+        let now = ctx.now();
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.grants += 1;
+            self.wait.add(0.0);
+            self.record_state(now);
+            ctx.schedule_now(continuation);
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push_back(Waiter {
+                event: continuation,
+                priority,
+                enqueued_at: now,
+                seq,
+            });
+            self.record_state(now);
+        }
+    }
+
+    /// Attempts to take a unit without queueing. Returns `true` on success.
+    ///
+    /// Useful for polling-style admission control (e.g. "skip clustering if
+    /// the analyser is already running").
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.grants += 1;
+            self.wait.add(0.0);
+            self.record_state(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<Waiter<E>> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        match self.discipline {
+            Discipline::Fifo => self.queue.pop_front(),
+            Discipline::Lifo => self.queue.pop_back(),
+            Discipline::Priority => {
+                let mut best = 0;
+                for i in 1..self.queue.len() {
+                    let (bp, bs) = (self.queue[best].priority, self.queue[best].seq);
+                    let (ip, is) = (self.queue[i].priority, self.queue[i].seq);
+                    if ip > bp || (ip == bp && is < bs) {
+                        best = i;
+                    }
+                }
+                self.queue.remove(best)
+            }
+        }
+    }
+
+    /// Releases one unit; the next waiter (if any) is granted immediately.
+    ///
+    /// # Panics
+    /// Panics if no unit is busy (a release without a matching request is a
+    /// model bug).
+    pub fn release(&mut self, ctx: &mut Context<'_, E>) {
+        assert!(self.busy > 0, "release on idle resource '{}'", self.name);
+        let now = ctx.now();
+        self.busy -= 1;
+        if self.busy < self.capacity {
+            if let Some(waiter) = self.pop_next() {
+                self.busy += 1;
+                self.grants += 1;
+                self.wait
+                    .add(now.saturating_since(waiter.enqueued_at).as_ms());
+                ctx.schedule_now(waiter.event);
+            }
+        }
+        self.record_state(now);
+    }
+
+    /// Mean waiting time per grant, in ms.
+    pub fn mean_wait(&self) -> f64 {
+        self.wait.mean()
+    }
+
+    /// Time-weighted mean queue length up to `now`.
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_len.mean(now.as_ms())
+    }
+
+    /// Time-weighted utilisation (busy units / capacity) up to `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy_units.mean(now.as_ms()) / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Model};
+
+    /// Three jobs contend for a single-unit resource; each holds it 10 ms.
+    struct SingleServer {
+        resource: Resource<Ev>,
+        grant_times: Vec<f64>,
+        done: usize,
+    }
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Arrive,
+        Granted,
+        Finish,
+    }
+
+    impl Model for SingleServer {
+        type Event = Ev;
+        fn init(&mut self, ctx: &mut Context<'_, Ev>) {
+            ctx.schedule(0.0, Ev::Arrive);
+            ctx.schedule(1.0, Ev::Arrive);
+            ctx.schedule(2.0, Ev::Arrive);
+        }
+        fn handle(&mut self, ev: Ev, ctx: &mut Context<'_, Ev>) {
+            match ev {
+                Ev::Arrive => self.resource.request(Ev::Granted, ctx),
+                Ev::Granted => {
+                    self.grant_times.push(ctx.now().as_ms());
+                    ctx.schedule(10.0, Ev::Finish);
+                }
+                Ev::Finish => {
+                    self.done += 1;
+                    self.resource.release(ctx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_grants_on_unit_capacity() {
+        let mut engine = Engine::new(SingleServer {
+            resource: Resource::new("server", 1),
+            grant_times: vec![],
+            done: 0,
+        });
+        engine.run_to_completion();
+        let m = engine.model();
+        assert_eq!(m.done, 3);
+        assert_eq!(m.grant_times, vec![0.0, 10.0, 20.0]);
+        // Waits: 0, 9, 18 → mean 9.
+        assert!((m.resource.mean_wait() - 9.0).abs() < 1e-9);
+        assert_eq!(m.resource.busy(), 0);
+        assert_eq!(m.resource.grants(), 3);
+    }
+
+    #[test]
+    fn parallel_grants_up_to_capacity() {
+        let mut engine = Engine::new(SingleServer {
+            resource: Resource::new("server", 2),
+            grant_times: vec![],
+            done: 0,
+        });
+        engine.run_to_completion();
+        let m = engine.model();
+        // Jobs at 0 and 1 run concurrently; job at 2 waits for the first
+        // release at 10.
+        assert_eq!(m.grant_times, vec![0.0, 1.0, 10.0]);
+    }
+
+    #[test]
+    fn priority_discipline_overtakes_fifo_order() {
+        struct PrioModel {
+            resource: Resource<PEv>,
+            order: Vec<u32>,
+        }
+        #[derive(Clone, Copy)]
+        enum PEv {
+            Seed,
+            Req(u32, i64),
+            Got(u32),
+            Done,
+        }
+        impl Model for PrioModel {
+            type Event = PEv;
+            fn init(&mut self, ctx: &mut Context<'_, PEv>) {
+                ctx.schedule(0.0, PEv::Seed);
+            }
+            fn handle(&mut self, ev: PEv, ctx: &mut Context<'_, PEv>) {
+                match ev {
+                    PEv::Seed => {
+                        // Occupy the unit, then queue three requests with
+                        // priorities 1, 3, 2.
+                        assert!(self.resource.try_acquire(ctx.now()));
+                        ctx.schedule(0.0, PEv::Req(1, 1));
+                        ctx.schedule(0.0, PEv::Req(2, 3));
+                        ctx.schedule(0.0, PEv::Req(3, 2));
+                        ctx.schedule(5.0, PEv::Done);
+                    }
+                    PEv::Req(id, prio) => {
+                        self.resource.request_with_priority(PEv::Got(id), prio, ctx)
+                    }
+                    PEv::Got(id) => {
+                        self.order.push(id);
+                        ctx.schedule(1.0, PEv::Done);
+                    }
+                    PEv::Done => self.resource.release(ctx),
+                }
+            }
+        }
+        let mut engine = Engine::new(PrioModel {
+            resource: Resource::new("prio", 1).with_discipline(Discipline::Priority),
+            order: vec![],
+        });
+        engine.run_to_completion();
+        assert_eq!(engine.model().order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn lifo_discipline_serves_newest_first() {
+        struct LifoModel {
+            resource: Resource<LEv>,
+            order: Vec<u32>,
+        }
+        #[derive(Clone, Copy)]
+        enum LEv {
+            Seed,
+            Req(u32),
+            Got(u32),
+            Rel,
+        }
+        impl Model for LifoModel {
+            type Event = LEv;
+            fn init(&mut self, ctx: &mut Context<'_, LEv>) {
+                ctx.schedule(0.0, LEv::Seed);
+            }
+            fn handle(&mut self, ev: LEv, ctx: &mut Context<'_, LEv>) {
+                match ev {
+                    LEv::Seed => {
+                        assert!(self.resource.try_acquire(ctx.now()));
+                        ctx.schedule(0.0, LEv::Req(1));
+                        ctx.schedule(0.1, LEv::Req(2));
+                        ctx.schedule(0.2, LEv::Req(3));
+                        ctx.schedule(1.0, LEv::Rel);
+                    }
+                    LEv::Req(id) => self.resource.request(LEv::Got(id), ctx),
+                    LEv::Got(id) => {
+                        self.order.push(id);
+                        ctx.schedule(1.0, LEv::Rel);
+                    }
+                    LEv::Rel => self.resource.release(ctx),
+                }
+            }
+        }
+        let mut engine = Engine::new(LifoModel {
+            resource: Resource::new("lifo", 1).with_discipline(Discipline::Lifo),
+            order: vec![],
+        });
+        engine.run_to_completion();
+        assert_eq!(engine.model().order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on idle resource")]
+    fn release_without_request_panics() {
+        struct Bad {
+            resource: Resource<()>,
+        }
+        impl Model for Bad {
+            type Event = ();
+            fn init(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.schedule(0.0, ());
+            }
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.resource.release(ctx);
+            }
+        }
+        Engine::new(Bad {
+            resource: Resource::new("bad", 1),
+        })
+        .run_to_completion();
+    }
+
+    #[test]
+    fn utilization_of_half_loaded_server() {
+        // One job holds the unit for 10 of 20 ms.
+        struct Half {
+            resource: Resource<HEv>,
+        }
+        #[derive(Clone, Copy)]
+        enum HEv {
+            Start,
+            Got,
+            End,
+            Pad,
+        }
+        impl Model for Half {
+            type Event = HEv;
+            fn init(&mut self, ctx: &mut Context<'_, HEv>) {
+                ctx.schedule(0.0, HEv::Start);
+                ctx.schedule(20.0, HEv::Pad);
+            }
+            fn handle(&mut self, ev: HEv, ctx: &mut Context<'_, HEv>) {
+                match ev {
+                    HEv::Start => self.resource.request(HEv::Got, ctx),
+                    HEv::Got => ctx.schedule(10.0, HEv::End),
+                    HEv::End => self.resource.release(ctx),
+                    HEv::Pad => {}
+                }
+            }
+        }
+        let mut engine = Engine::new(Half {
+            resource: Resource::new("half", 1),
+        });
+        engine.run_to_completion();
+        let now = engine.now();
+        let util = engine.model().resource.utilization(now);
+        assert!((util - 0.5).abs() < 1e-9, "utilization {util}");
+    }
+}

@@ -1,0 +1,301 @@
+//! The virtual disk: page store, I/O counters, and the timing model.
+//!
+//! The paper reduces the secondary-storage hardware to three parameters
+//! (Table 3): `DISKSEA` (search/seek time), `DISKLAT` (rotational latency)
+//! and `DISKTRA` (transfer time), with the refinement of Fig. 5: **a page
+//! contiguous to the previously loaded page skips search and latency** and
+//! pays only the transfer time. [`VirtualDisk`] implements exactly that
+//! model over an in-memory vector of [`SlottedPage`]s, counting every read
+//! and write — the "mean number of I/Os" of every figure and table in the
+//! paper's evaluation comes from counters like these.
+
+use crate::page::SlottedPage;
+use clustering::PageId;
+
+/// Disk timing parameters, in milliseconds (Table 3 / Table 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskTimings {
+    /// `DISKSEA` — head search (seek) time.
+    pub search_ms: f64,
+    /// `DISKLAT` — rotational latency.
+    pub latency_ms: f64,
+    /// `DISKTRA` — page transfer time.
+    pub transfer_ms: f64,
+}
+
+impl DiskTimings {
+    /// Table 3 defaults (7.4 / 4.3 / 0.5 ms).
+    pub fn table3_default() -> Self {
+        DiskTimings {
+            search_ms: 7.4,
+            latency_ms: 4.3,
+            transfer_ms: 0.5,
+        }
+    }
+
+    /// The O2 server disk of Table 4 (6.3 / 2.99 / 0.7 ms).
+    pub fn o2() -> Self {
+        DiskTimings {
+            search_ms: 6.3,
+            latency_ms: 2.99,
+            transfer_ms: 0.7,
+        }
+    }
+
+    /// The Texas host disk of Table 4 (7.4 / 4.3 / 0.5 ms).
+    pub fn texas() -> Self {
+        DiskTimings::table3_default()
+    }
+
+    /// Cost of one random access (Fig. 5 full path).
+    pub fn random_access_ms(&self) -> f64 {
+        self.search_ms + self.latency_ms + self.transfer_ms
+    }
+
+    /// Cost of one contiguous access (Fig. 5 short-circuit).
+    pub fn contiguous_access_ms(&self) -> f64 {
+        self.transfer_ms
+    }
+}
+
+/// Read/write I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoCounts {
+    /// Page reads.
+    pub reads: u64,
+    /// Page writes.
+    pub writes: u64,
+}
+
+impl IoCounts {
+    /// Reads plus writes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference (`self - earlier`), for interval
+    /// measurements.
+    pub fn since(&self, earlier: IoCounts) -> IoCounts {
+        IoCounts {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+        }
+    }
+}
+
+/// An in-memory disk of slotted pages with the Fig. 5 cost model.
+#[derive(Debug)]
+pub struct VirtualDisk {
+    pages: Vec<SlottedPage>,
+    page_size: u32,
+    timings: DiskTimings,
+    counts: IoCounts,
+    elapsed_ms: f64,
+    last_page: Option<PageId>,
+}
+
+impl VirtualDisk {
+    /// Creates a disk holding `pages` (the materialised database).
+    pub fn new(pages: Vec<SlottedPage>, page_size: u32, timings: DiskTimings) -> Self {
+        debug_assert!(pages.iter().all(|p| p.page_size() == page_size));
+        VirtualDisk {
+            pages,
+            page_size,
+            timings,
+            counts: IoCounts::default(),
+            elapsed_ms: 0.0,
+            last_page: None,
+        }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// The timing model.
+    pub fn timings(&self) -> DiskTimings {
+        self.timings
+    }
+
+    /// I/O counters so far.
+    pub fn counts(&self) -> IoCounts {
+        self.counts
+    }
+
+    /// Accumulated service time, in ms.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ms
+    }
+
+    /// Resets counters and elapsed time (not the head position).
+    pub fn reset_counters(&mut self) {
+        self.counts = IoCounts::default();
+        self.elapsed_ms = 0.0;
+    }
+
+    fn account(&mut self, page: PageId) {
+        let contiguous = matches!(self.last_page, Some(last) if page == last + 1);
+        self.elapsed_ms += if contiguous {
+            self.timings.contiguous_access_ms()
+        } else {
+            self.timings.random_access_ms()
+        };
+        self.last_page = Some(page);
+    }
+
+    /// Performs (and counts) a page read, returning the page content.
+    ///
+    /// # Panics
+    /// Panics if `page` is out of range.
+    pub fn read(&mut self, page: PageId) -> &SlottedPage {
+        assert!((page as usize) < self.pages.len(), "read past end of disk");
+        self.counts.reads += 1;
+        self.account(page);
+        &self.pages[page as usize]
+    }
+
+    /// Performs (and counts) a page write, replacing the page content.
+    ///
+    /// # Panics
+    /// Panics if `page` is out of range or the sizes mismatch.
+    pub fn write(&mut self, page: PageId, content: SlottedPage) {
+        assert!((page as usize) < self.pages.len(), "write past end of disk");
+        assert_eq!(content.page_size(), self.page_size);
+        self.counts.writes += 1;
+        self.account(page);
+        self.pages[page as usize] = content;
+    }
+
+    /// Performs (and counts) a write of the page's current in-memory image
+    /// (used after patching via [`VirtualDisk::peek_mut`]).
+    pub fn write_back(&mut self, page: PageId) {
+        assert!((page as usize) < self.pages.len(), "write past end of disk");
+        self.counts.writes += 1;
+        self.account(page);
+    }
+
+    /// Uncounted access to a page image — models reading from a frame that
+    /// already holds the page. Callers must have counted the fetch.
+    pub fn peek(&self, page: PageId) -> &SlottedPage {
+        &self.pages[page as usize]
+    }
+
+    /// Uncounted mutable access (buffered modification; the write is
+    /// counted when the frame is flushed).
+    pub fn peek_mut(&mut self, page: PageId) -> &mut SlottedPage {
+        &mut self.pages[page as usize]
+    }
+
+    /// Appends a fresh page at the end of the store (counted as one write),
+    /// returning its id.
+    pub fn append_page(&mut self, content: SlottedPage) -> PageId {
+        assert_eq!(content.page_size(), self.page_size);
+        let id = self.pages.len() as PageId;
+        self.pages.push(content);
+        self.counts.writes += 1;
+        self.account(id);
+        id
+    }
+
+    /// Replaces the entire page array (database reorganisation result).
+    /// Not counted: the reorganiser accounts its own I/Os.
+    pub fn replace_all(&mut self, pages: Vec<SlottedPage>) {
+        debug_assert!(pages.iter().all(|p| p.page_size() == self.page_size));
+        self.pages = pages;
+        self.last_page = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk(n: u32) -> VirtualDisk {
+        let pages = (0..n).map(|_| SlottedPage::new(4096)).collect();
+        VirtualDisk::new(pages, 4096, DiskTimings::table3_default())
+    }
+
+    #[test]
+    fn reads_and_writes_are_counted() {
+        let mut d = disk(10);
+        d.read(0);
+        d.read(5);
+        d.write(3, SlottedPage::new(4096));
+        assert_eq!(d.counts(), IoCounts { reads: 2, writes: 1 });
+        assert_eq!(d.counts().total(), 3);
+    }
+
+    #[test]
+    fn contiguous_access_skips_search_and_latency() {
+        let mut d = disk(10);
+        let t = DiskTimings::table3_default();
+        d.read(0); // random: 12.2 ms
+        d.read(1); // contiguous: 0.5 ms
+        d.read(2); // contiguous: 0.5 ms
+        d.read(7); // random again
+        let expected = t.random_access_ms() * 2.0 + t.contiguous_access_ms() * 2.0;
+        assert!((d.elapsed_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_page_reread_is_not_contiguous() {
+        let mut d = disk(4);
+        let t = DiskTimings::table3_default();
+        d.read(2);
+        d.read(2); // same page: full cost (head may have rotated)
+        assert!((d.elapsed_ms() - 2.0 * t.random_access_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_is_uncounted() {
+        let mut d = disk(3);
+        d.peek(0);
+        d.peek_mut(1);
+        assert_eq!(d.counts().total(), 0);
+        d.write_back(1);
+        assert_eq!(d.counts().writes, 1);
+    }
+
+    #[test]
+    fn counts_since_interval() {
+        let mut d = disk(5);
+        d.read(0);
+        let mark = d.counts();
+        d.read(1);
+        d.write_back(1);
+        let delta = d.counts().since(mark);
+        assert_eq!(delta, IoCounts { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn reset_counters_keeps_content() {
+        let mut d = disk(2);
+        let mut page = SlottedPage::new(4096);
+        page.insert(b"data");
+        d.write(0, page.clone());
+        d.reset_counters();
+        assert_eq!(d.counts().total(), 0);
+        assert_eq!(d.elapsed_ms(), 0.0);
+        assert_eq!(d.peek(0), &page);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end of disk")]
+    fn out_of_range_read_panics() {
+        let mut d = disk(1);
+        d.read(1);
+    }
+
+    #[test]
+    fn table4_presets() {
+        assert_eq!(DiskTimings::o2().search_ms, 6.3);
+        assert_eq!(DiskTimings::texas().latency_ms, 4.3);
+        assert!((DiskTimings::o2().random_access_ms() - 9.99).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! Physical and logical object identifiers.
+//!
+//! The distinction drives the central anomaly of Table 6 of the paper:
+//! **Texas uses physical OIDs** (an object's identity *is* its disk
+//! location), so moving objects during clustering invalidates every stored
+//! reference to them and forces a whole-database patch scan; a system with
+//! **logical OIDs** (like the simulator, or the page-server engine's OID
+//! table) only updates its mapping.
+
+use crate::page::SlotId;
+use clustering::PageId;
+
+/// A physical object identifier: the object's location on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysicalOid {
+    /// The page holding the object.
+    pub page: PageId,
+    /// The slot within the page.
+    pub slot: SlotId,
+}
+
+impl PhysicalOid {
+    /// Serialised size in bytes (u32 page + u16 slot + 2 padding), matching
+    /// [`ocb::BYTES_PER_REF`].
+    pub const WIRE_BYTES: usize = 8;
+
+    /// Encodes into the on-page wire format.
+    pub fn encode(&self, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), Self::WIRE_BYTES);
+        out[0..4].copy_from_slice(&self.page.to_le_bytes());
+        out[4..6].copy_from_slice(&self.slot.to_le_bytes());
+        out[6] = 0;
+        out[7] = 0;
+    }
+
+    /// Decodes from the on-page wire format.
+    pub fn decode(raw: &[u8]) -> Self {
+        debug_assert_eq!(raw.len(), Self::WIRE_BYTES);
+        PhysicalOid {
+            page: u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]),
+            slot: u16::from_le_bytes([raw[4], raw[5]]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        let oid = PhysicalOid { page: 0xDEAD_BEEF, slot: 0x1234 };
+        let mut buf = [0u8; PhysicalOid::WIRE_BYTES];
+        oid.encode(&mut buf);
+        assert_eq!(PhysicalOid::decode(&buf), oid);
+    }
+
+    #[test]
+    fn wire_size_matches_ocb_budget() {
+        assert_eq!(PhysicalOid::WIRE_BYTES as u32, ocb::BYTES_PER_REF);
+    }
+}

@@ -1,0 +1,185 @@
+//! Object serialisation and database materialisation.
+//!
+//! Objects are stored with their references **embedded as physical OIDs in
+//! the payload** — exactly the property that makes clustering expensive in
+//! a physical-OID store: after objects move, the references in every page
+//! that points at them are stale and must be patched.
+//!
+//! Payload layout (`size` bytes total, `size ≥ OBJECT_HEADER_BYTES +
+//! nrefs·BYTES_PER_REF` guaranteed by OCB generation):
+//!
+//! ```text
+//! 0..4        u32  logical OID (sanity / debugging)
+//! 4..8        u32  reference count
+//! 8..16       reserved
+//! 16..16+8n   physical OIDs of the n references
+//! ..size      attribute payload (filler pattern)
+//! ```
+
+use crate::oid::PhysicalOid;
+use crate::page::SlottedPage;
+use clustering::Placement;
+use ocb::{ObjectBase, Oid, OBJECT_HEADER_BYTES};
+
+/// Filler byte for the attribute area.
+const FILL: u8 = 0xA5;
+
+/// Serialises one object given the physical OIDs of its reference targets.
+pub fn serialize_object(oid: Oid, refs: &[PhysicalOid], size: u32) -> Vec<u8> {
+    let needed = OBJECT_HEADER_BYTES as usize + refs.len() * PhysicalOid::WIRE_BYTES;
+    assert!(
+        size as usize >= needed,
+        "object {oid}: size {size} cannot hold {} references",
+        refs.len()
+    );
+    let mut payload = vec![FILL; size as usize];
+    payload[0..4].copy_from_slice(&oid.to_le_bytes());
+    payload[4..8].copy_from_slice(&(refs.len() as u32).to_le_bytes());
+    payload[8..16].fill(0);
+    for (i, r) in refs.iter().enumerate() {
+        let at = OBJECT_HEADER_BYTES as usize + i * PhysicalOid::WIRE_BYTES;
+        r.encode(&mut payload[at..at + PhysicalOid::WIRE_BYTES]);
+    }
+    payload
+}
+
+/// Reads the logical OID stored in a payload.
+pub fn payload_oid(payload: &[u8]) -> Oid {
+    u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]])
+}
+
+/// Decodes the physical reference OIDs embedded in a payload.
+pub fn payload_refs(payload: &[u8]) -> Vec<PhysicalOid> {
+    let nrefs = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]) as usize;
+    let mut refs = Vec::with_capacity(nrefs);
+    for i in 0..nrefs {
+        let at = OBJECT_HEADER_BYTES as usize + i * PhysicalOid::WIRE_BYTES;
+        refs.push(PhysicalOid::decode(&payload[at..at + PhysicalOid::WIRE_BYTES]));
+    }
+    refs
+}
+
+/// Patches reference `index` of a payload in place.
+pub fn patch_ref(payload: &mut [u8], index: usize, new_target: PhysicalOid) {
+    let at = OBJECT_HEADER_BYTES as usize + index * PhysicalOid::WIRE_BYTES;
+    new_target.encode(&mut payload[at..at + PhysicalOid::WIRE_BYTES]);
+}
+
+/// Materialises a database: builds the slotted pages for `placement` and
+/// the logical → physical OID map.
+///
+/// Two passes: slots are assigned first (page layout is fully determined by
+/// the placement), then payloads are written with the final physical OIDs
+/// of their reference targets.
+pub fn materialize(base: &ObjectBase, placement: &Placement) -> (Vec<SlottedPage>, Vec<PhysicalOid>) {
+    let mut phys_of = vec![
+        PhysicalOid { page: u32::MAX, slot: u16::MAX };
+        base.len()
+    ];
+    // Pass 1: assign physical OIDs in placement order.
+    for page in 0..placement.page_count() {
+        for (slot, &oid) in placement.objects_in(page).iter().enumerate() {
+            phys_of[oid as usize] = PhysicalOid {
+                page,
+                slot: slot as u16,
+            };
+        }
+    }
+    // Pass 2: serialise.
+    let mut pages = Vec::with_capacity(placement.page_count() as usize);
+    for page in 0..placement.page_count() {
+        let mut slotted = SlottedPage::new(placement.page_size());
+        for &oid in placement.objects_in(page) {
+            let object = base.object(oid);
+            let refs: Vec<PhysicalOid> = object
+                .refs
+                .iter()
+                .map(|&target| phys_of[target as usize])
+                .collect();
+            let payload = serialize_object(oid, &refs, object.size);
+            let slot = slotted.insert(&payload);
+            debug_assert_eq!(slot, phys_of[oid as usize].slot);
+        }
+        pages.push(slotted);
+    }
+    (pages, phys_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustering::InitialPlacement;
+    use ocb::DatabaseParams;
+
+    fn setup() -> (ObjectBase, Placement) {
+        let base = ObjectBase::generate(&DatabaseParams::small(), 11);
+        let placement = InitialPlacement::OptimizedSequential.build(&base, 4096);
+        (base, placement)
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let refs = vec![
+            PhysicalOid { page: 1, slot: 2 },
+            PhysicalOid { page: 3, slot: 4 },
+        ];
+        let payload = serialize_object(42, &refs, 128);
+        assert_eq!(payload.len(), 128);
+        assert_eq!(payload_oid(&payload), 42);
+        assert_eq!(payload_refs(&payload), refs);
+    }
+
+    #[test]
+    fn patch_ref_updates_one_target() {
+        let refs = vec![
+            PhysicalOid { page: 1, slot: 2 },
+            PhysicalOid { page: 3, slot: 4 },
+        ];
+        let mut payload = serialize_object(7, &refs, 100);
+        patch_ref(&mut payload, 1, PhysicalOid { page: 9, slot: 9 });
+        let got = payload_refs(&payload);
+        assert_eq!(got[0], refs[0]);
+        assert_eq!(got[1], PhysicalOid { page: 9, slot: 9 });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn undersized_object_rejected() {
+        let refs = vec![PhysicalOid { page: 0, slot: 0 }; 10];
+        let _ = serialize_object(1, &refs, 32);
+    }
+
+    #[test]
+    fn materialize_places_every_object_where_placement_says() {
+        let (base, placement) = setup();
+        let (pages, phys_of) = materialize(&base, &placement);
+        assert_eq!(pages.len(), placement.page_count() as usize);
+        for (oid, _) in base.iter() {
+            let phys = phys_of[oid as usize];
+            assert_eq!(phys.page, placement.page_of(oid));
+            let payload = pages[phys.page as usize].get(phys.slot).unwrap();
+            assert_eq!(payload_oid(payload), oid);
+            assert_eq!(payload.len() as u32, base.object(oid).size);
+        }
+    }
+
+    #[test]
+    fn materialized_refs_point_at_targets() {
+        let (base, placement) = setup();
+        let (pages, phys_of) = materialize(&base, &placement);
+        for (oid, object) in base.iter().take(100) {
+            let phys = phys_of[oid as usize];
+            let payload = pages[phys.page as usize].get(phys.slot).unwrap();
+            let refs = payload_refs(payload);
+            assert_eq!(refs.len(), object.refs.len());
+            for (stored, &logical_target) in refs.iter().zip(object.refs.iter()) {
+                assert_eq!(*stored, phys_of[logical_target as usize]);
+                // Follow the stored reference: the payload there must carry
+                // the target's logical OID.
+                let target_payload =
+                    pages[stored.page as usize].get(stored.slot).unwrap();
+                assert_eq!(payload_oid(target_payload), logical_target);
+            }
+        }
+    }
+}

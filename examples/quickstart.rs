@@ -1,0 +1,47 @@
+//! Quickstart: simulate an OODB with the Table 3 defaults.
+//!
+//! Builds a small OCB object base, runs the Table 5 workload through the
+//! VOODB model (page server, 500-page LRU buffer), and prints the metrics
+//! the paper reports — mean I/Os first, the rest as supporting criteria.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ocb::{DatabaseParams, WorkloadParams};
+use voodb::{run_once, run_replicated, ExperimentConfig, VoodbParams};
+
+fn main() {
+    let config = ExperimentConfig {
+        system: VoodbParams::default(), // Table 3 defaults: page server, LRU
+        database: DatabaseParams {
+            objects: 5_000,
+            ..DatabaseParams::default()
+        },
+        workload: WorkloadParams {
+            hot_transactions: 200,
+            ..WorkloadParams::default()
+        },
+    };
+
+    // One replication, for a quick look.
+    let result = run_once(&config, 42);
+    println!("single replication (seed 42):");
+    println!("  transactions        {:>10}", result.transactions);
+    println!("  total I/Os          {:>10}", result.total_ios());
+    println!("  I/Os per tx         {:>10.2}", result.ios_per_transaction());
+    println!("  mean response       {:>10.2} ms", result.mean_response_ms);
+    println!("  throughput          {:>10.2} tx/s", result.throughput_tps);
+    println!("  buffer hit ratio    {:>10.4}", result.hit_ratio);
+
+    // The paper's protocol: replications with 95% confidence intervals.
+    let report = run_replicated(&config, desp::ReplicationPolicy::Fixed(10), 42);
+    let ios = report.interval("ios");
+    let response = report.interval("response_ms");
+    println!("\n{} replications, 95% confidence:", report.replications());
+    println!("  mean I/Os           {:>10.1} ± {:.1}", ios.mean, ios.half_width);
+    println!(
+        "  mean response       {:>10.2} ± {:.2} ms",
+        response.mean, response.half_width
+    );
+}

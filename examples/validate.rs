@@ -1,0 +1,69 @@
+//! Validation in miniature: benchmark vs simulation on one configuration.
+//!
+//! The paper's core claim is methodological: "benchmarking and simulation
+//! performance evaluations have been observed to be consistent, so it
+//! appears that simulation can be a reliable approach to evaluate the
+//! performances of OODBs" (abstract). This example replays that check on
+//! one O2-style configuration: the same OCB transaction stream runs
+//! against the real page-server engine and the VOODB model, and the two
+//! mean-I/O columns are compared.
+//!
+//! ```text
+//! cargo run --release --example validate
+//! ```
+
+use desp::ConfidenceInterval;
+use ocb::{DatabaseParams, ObjectBase, WorkloadGenerator, WorkloadParams};
+use oostore::{run_workload, PageServerConfig, PageServerEngine};
+use voodb::{Simulation, VoodbParams};
+
+fn main() {
+    let database = DatabaseParams {
+        objects: 5_000,
+        ..DatabaseParams::default()
+    };
+    let workload = WorkloadParams {
+        hot_transactions: 200,
+        ..WorkloadParams::default()
+    };
+    let cache_mb = 2;
+    let reps = 10;
+
+    // One object base, as for a real benchmarked system.
+    let base = ObjectBase::generate(&database, 42);
+
+    let mut bench_samples = Vec::with_capacity(reps);
+    let mut sim_samples = Vec::with_capacity(reps);
+    for rep in 0..reps as u64 {
+        let mut generator = WorkloadGenerator::new(&base, workload.clone(), 1000 + rep);
+        let transactions: Vec<_> = (0..workload.hot_transactions)
+            .map(|_| generator.next_transaction())
+            .collect();
+
+        // Benchmark column: the real engine.
+        let mut engine = PageServerEngine::new(&base, PageServerConfig::with_cache_mb(cache_mb));
+        let report = run_workload(&mut engine, &transactions);
+        bench_samples.push(report.total_ios() as f64);
+
+        // Simulation column: the VOODB model, same transactions.
+        let mut simulation = Simulation::new(&base, VoodbParams::o2(cache_mb), 0.0, 1000 + rep);
+        let result = simulation.run_phase(transactions, 0);
+        sim_samples.push(result.total_ios() as f64);
+    }
+
+    let bench = ConfidenceInterval::from_samples(&bench_samples, 0.95);
+    let sim = ConfidenceInterval::from_samples(&sim_samples, 0.95);
+    println!("validation: O2-style page server, {cache_mb} MB cache, {reps} replications");
+    println!("  benchmark   {:>10.1} ± {:.1} I/Os", bench.mean, bench.half_width);
+    println!("  simulation  {:>10.1} ± {:.1} I/Os", sim.mean, sim.half_width);
+    let ratio = bench.mean / sim.mean;
+    println!("  bench/sim ratio: {ratio:.4}");
+    assert!(
+        (0.9..1.2).contains(&ratio),
+        "simulation diverged from the benchmark"
+    );
+    println!(
+        "\nconsistent (the residual gap is the engine's persistent OID-table \
+         I/Os, which the model deliberately abstracts away)."
+    );
+}

@@ -1,0 +1,22 @@
+//! # voodb-repro — reproduction of *VOODB* (Darmont & Schneider, VLDB 1999)
+//!
+//! Facade crate re-exporting the whole workspace. The pieces:
+//!
+//! | Crate | Paper role |
+//! |---|---|
+//! | [`desp`] | DESP-C++: the discrete-event simulation kernel (§3.2.1) |
+//! | [`ocb`] | The OCB object base and workload model (§3.3, Table 5) |
+//! | [`bufmgr`] | Buffering Manager substrate: page-replacement policies (Table 3) |
+//! | [`clustering`] | Clustering strategies incl. DSTC, and object placement |
+//! | [`oostore`] | Miniature *real* engines standing in for O2 / Texas (§4.2.1) |
+//! | [`voodb`] | The generic evaluation model itself (§3) |
+//!
+//! See `examples/` for runnable studies and `crates/bench` for the harness
+//! that regenerates every table and figure of the paper's evaluation.
+
+pub use bufmgr;
+pub use clustering;
+pub use desp;
+pub use ocb;
+pub use oostore;
+pub use voodb;
