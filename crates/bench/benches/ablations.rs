@@ -73,7 +73,10 @@ fn bench_initial_placement(c: &mut Criterion) {
     group.sample_size(10);
     for (name, placement) in [
         ("sequential", InitialPlacement::Sequential),
-        ("optimized_sequential", InitialPlacement::OptimizedSequential),
+        (
+            "optimized_sequential",
+            InitialPlacement::OptimizedSequential,
+        ),
         ("random", InitialPlacement::Random { seed: 99 }),
     ] {
         let mut config = base_config();

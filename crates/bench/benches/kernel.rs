@@ -62,5 +62,10 @@ fn bench_random(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_throughput, bench_output_analysis, bench_random);
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_output_analysis,
+    bench_random
+);
 criterion_main!(benches);

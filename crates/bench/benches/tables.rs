@@ -33,10 +33,26 @@ fn bench_dstc_protocol(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab6_protocol_2k_objects");
     group.sample_size(10);
     group.bench_function("texas_engine_with_patch_scan", |b| {
-        b.iter(|| black_box(dstc_bench_once(&base, &workload, 64, dstc.clone(), black_box(7))))
+        b.iter(|| {
+            black_box(dstc_bench_once(
+                &base,
+                &workload,
+                64,
+                dstc.clone(),
+                black_box(7),
+            ))
+        })
     });
     group.bench_function("voodb_sim_logical_oids", |b| {
-        b.iter(|| black_box(dstc_sim_once(&base, &workload, 64, dstc.clone(), black_box(7))))
+        b.iter(|| {
+            black_box(dstc_sim_once(
+                &base,
+                &workload,
+                64,
+                dstc.clone(),
+                black_box(7),
+            ))
+        })
     });
     group.finish();
 }

@@ -69,10 +69,22 @@ fn main() {
 
     row("baseline".into(), base_params());
     for tfa in [2.0, 4.0] {
-        row(format!("tfa={tfa}"), DstcParams { tfa, ..base_params() });
+        row(
+            format!("tfa={tfa}"),
+            DstcParams {
+                tfa,
+                ..base_params()
+            },
+        );
     }
     for tfe in [2.0, 5.0] {
-        row(format!("tfe={tfe}"), DstcParams { tfe, ..base_params() });
+        row(
+            format!("tfe={tfe}"),
+            DstcParams {
+                tfe,
+                ..base_params()
+            },
+        );
     }
     for w in [0.2, 0.5, 1.0] {
         row(format!("w={w}"), DstcParams { w, ..base_params() });

@@ -11,8 +11,9 @@
 //! Without `--classes`, both figures (20 then 50 classes) are produced.
 
 use ocb::{DatabaseParams, WorkloadParams};
-use voodb_bench::{check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep,
-    Args, INSTANCE_SWEEP};
+use voodb_bench::{
+    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args, INSTANCE_SWEEP,
+};
 
 fn run_figure(classes: usize, reps: usize, seed: u64) {
     let workload = WorkloadParams::default();

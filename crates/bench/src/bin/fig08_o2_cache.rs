@@ -12,8 +12,10 @@
 //! ```
 
 use ocb::{DatabaseParams, WorkloadParams};
-use voodb_bench::{check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep,
-    Args, MEMORY_SWEEP_MB};
+use voodb_bench::{
+    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args,
+    MEMORY_SWEEP_MB,
+};
 
 fn main() {
     let args = Args::from_env();

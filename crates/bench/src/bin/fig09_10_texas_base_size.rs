@@ -11,8 +11,10 @@
 //! ```
 
 use ocb::{DatabaseParams, WorkloadParams};
-use voodb_bench::{check_same_tendency, measure_point, print_sweep, texas_bench_ios,
-    texas_sim_ios, Args, INSTANCE_SWEEP};
+use voodb_bench::{
+    check_same_tendency, measure_point, print_sweep, texas_bench_ios, texas_sim_ios, Args,
+    INSTANCE_SWEEP,
+};
 
 fn run_figure(classes: usize, reps: usize, seed: u64) {
     let workload = WorkloadParams::default();

@@ -13,8 +13,10 @@
 //! ```
 
 use ocb::{DatabaseParams, WorkloadParams};
-use voodb_bench::{check_same_tendency, measure_point, print_sweep, texas_bench_ios,
-    texas_sim_ios, Args, MEMORY_SWEEP_MB};
+use voodb_bench::{
+    check_same_tendency, measure_point, print_sweep, texas_bench_ios, texas_sim_ios, Args,
+    MEMORY_SWEEP_MB,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -51,8 +53,6 @@ fn main() {
     if let (Some(first), Some(last)) = (points.first(), points.last()) {
         let bench_blowup = first.bench.mean / last.bench.mean.max(1.0);
         let sim_blowup = first.sim.mean / last.sim.mean.max(1.0);
-        println!(
-            "blow-up factor 8MB/64MB: bench {bench_blowup:.1}x, sim {sim_blowup:.1}x"
-        );
+        println!("blow-up factor 8MB/64MB: bench {bench_blowup:.1}x, sim {sim_blowup:.1}x");
     }
 }

@@ -30,7 +30,10 @@ fn main() {
     let workload = WorkloadParams::default();
 
     println!("# Ablation: page replacement policies (simulated, {objects} objects, {buffer_pages}-page buffer)");
-    println!("{:<12} {:>12} {:>10} {:>10}", "policy", "ios", "±95%", "hit-ratio");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "policy", "ios", "±95%", "hit-ratio"
+    );
     for policy in PolicyKind::all_default() {
         let config = ExperimentConfig {
             system: VoodbParams {

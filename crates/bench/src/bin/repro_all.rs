@@ -12,8 +12,8 @@
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
 use voodb_bench::{
     check_same_tendency, dstc_bench_once, dstc_mean, dstc_sim_once, measure_point, o2_bench_ios,
-    o2_sim_ios, print_cluster_table, print_dstc_table, print_sweep, texas_bench_ios,
-    texas_sim_ios, Args, Point, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
+    o2_sim_ios, print_cluster_table, print_dstc_table, print_sweep, texas_bench_ios, texas_sim_ios,
+    Args, Point, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
 };
 
 fn report(title: &str, x_label: &str, points: Vec<Point>) {
@@ -72,7 +72,11 @@ fn main() {
             )
         })
         .collect();
-    report("Figure 8: mean I/Os vs server cache size (O2)", "cache(MB)", points);
+    report(
+        "Figure 8: mean I/Os vs server cache size (O2)",
+        "cache(MB)",
+        points,
+    );
 
     // ----- Figures 9 & 10: Texas, base-size sweeps ----------------------
     for classes in [20usize, 50] {
@@ -116,7 +120,11 @@ fn main() {
             )
         })
         .collect();
-    report("Figure 11: mean I/Os vs available memory (Texas)", "memory(MB)", points);
+    report(
+        "Figure 11: mean I/Os vs available memory (Texas)",
+        "memory(MB)",
+        points,
+    );
 
     // ----- Tables 6, 7, 8: DSTC -------------------------------------------
     let shared_base = ObjectBase::generate(&mid, seed);
@@ -136,7 +144,12 @@ fn main() {
     let sim = dstc_mean(reps, seed + 1, |s| {
         dstc_sim_once(&shared_base, &favorable, 64, dstc.clone(), s)
     });
-    print_dstc_table("Table 6: effects of DSTC — mid-sized base (64 MB)", &bench, &sim, true);
+    print_dstc_table(
+        "Table 6: effects of DSTC — mid-sized base (64 MB)",
+        &bench,
+        &sim,
+        true,
+    );
     print_cluster_table("Table 7: DSTC clustering", &bench, &sim);
 
     // The "large" base: memory scaled so the working set no longer fits
@@ -148,7 +161,12 @@ fn main() {
     let sim8 = dstc_mean(reps, seed + 1, |s| {
         dstc_sim_once(&shared_base, &favorable, 3, dstc.clone(), s)
     });
-    print_dstc_table("Table 8: effects of DSTC — \"large\" base (3 MB)", &bench8, &sim8, false);
+    print_dstc_table(
+        "Table 8: effects of DSTC — \"large\" base (3 MB)",
+        &bench8,
+        &sim8,
+        false,
+    );
 
     println!("summary:");
     println!(

@@ -114,7 +114,10 @@ fn main() {
     let tight_frames = args.get("tight", 96usize);
     for (regime, buffer_pages) in [
         ("ample memory (64 MB of frames)", ample_frames),
-        ("tight memory (working set exceeds the buffer)", tight_frames),
+        (
+            "tight memory (working set exceeds the buffer)",
+            tight_frames,
+        ),
     ] {
         println!("\n## {regime} — {buffer_pages} frames");
         println!(

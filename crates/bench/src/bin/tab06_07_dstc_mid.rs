@@ -19,8 +19,9 @@
 
 use clustering::DstcParams;
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
-use voodb_bench::{dstc_bench_once, dstc_mean, dstc_sim_once, print_cluster_table,
-    print_dstc_table, Args};
+use voodb_bench::{
+    dstc_bench_once, dstc_mean, dstc_sim_once, print_cluster_table, print_dstc_table, Args,
+};
 
 /// The DSTC tuning used for the study (documented in EXPERIMENTS.md).
 pub fn study_dstc_params() -> DstcParams {

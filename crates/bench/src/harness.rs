@@ -18,7 +18,7 @@
 //!   both sets of experiments", §4.1);
 //! * intervals are 95% Student-t over replications (§4.2.2), computed by
 //!   `desp`'s output-analysis machinery;
-//! * replications are distributed over threads with crossbeam.
+//! * replications are distributed over scoped std threads.
 
 use desp::{ConfidenceInterval, Welford};
 use ocb::{DatabaseParams, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams};
@@ -77,22 +77,25 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(reps);
-    let slots: Vec<parking_lot::Mutex<T>> =
-        (0..reps).map(|_| parking_lot::Mutex::new(T::default())).collect();
+    let slots: Vec<std::sync::Mutex<T>> = (0..reps)
+        .map(|_| std::sync::Mutex::new(T::default()))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= reps {
                     break;
                 }
-                *slots[i].lock() = f(base_seed + i as u64);
+                *slots[i].lock().expect("replication slot poisoned") = f(base_seed + i as u64);
             });
         }
-    })
-    .expect("replication worker panicked");
-    slots.into_iter().map(|s| s.into_inner()).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("replication slot poisoned"))
+        .collect()
 }
 
 /// Generates the workload run for one replication seed over a shared base.
@@ -129,12 +132,7 @@ pub fn o2_sim_ios(base: &ObjectBase, wl: &WorkloadParams, cache_mb: usize, seed:
 }
 
 /// One replication of the Texas *benchmark* column.
-pub fn texas_bench_ios(
-    base: &ObjectBase,
-    wl: &WorkloadParams,
-    memory_mb: usize,
-    seed: u64,
-) -> f64 {
+pub fn texas_bench_ios(base: &ObjectBase, wl: &WorkloadParams, memory_mb: usize, seed: u64) -> f64 {
     let (transactions, cold_count) = generate_workload(base, wl, seed);
     let mut engine = TexasEngine::new(base, TexasConfig::with_memory_mb(memory_mb));
     run_workload(&mut engine, &transactions[..cold_count]);
@@ -145,12 +143,7 @@ pub fn texas_bench_ios(
 
 /// One replication of the Texas *simulation* column (VOODB, Table 4
 /// preset, VM-reservation module on).
-pub fn texas_sim_ios(
-    base: &ObjectBase,
-    wl: &WorkloadParams,
-    memory_mb: usize,
-    seed: u64,
-) -> f64 {
+pub fn texas_sim_ios(base: &ObjectBase, wl: &WorkloadParams, memory_mb: usize, seed: u64) -> f64 {
     let (transactions, cold_count) = generate_workload(base, wl, seed);
     let mut simulation =
         Simulation::new(base, VoodbParams::texas(memory_mb), wl.think_time_ms, seed);

@@ -17,7 +17,11 @@ pub fn print_sweep(title: &str, x_label: &str, points: &[Point]) {
     for p in points {
         println!(
             "{:<14} {:>14.1} {:>10.1} {:>14.1} {:>10.1} {:>8.3}",
-            p.x, p.bench.mean, p.bench.half_width, p.sim.mean, p.sim.half_width,
+            p.x,
+            p.bench.mean,
+            p.bench.half_width,
+            p.sim.mean,
+            p.sim.half_width,
             p.ratio()
         );
     }
@@ -145,13 +149,21 @@ mod tests {
 
     #[test]
     fn same_tendency_accepts_monotone_series() {
-        let points = vec![point(1.0, 10.0, 12.0), point(2.0, 20.0, 22.0), point(3.0, 30.0, 33.0)];
+        let points = vec![
+            point(1.0, 10.0, 12.0),
+            point(2.0, 20.0, 22.0),
+            point(3.0, 30.0, 33.0),
+        ];
         assert!(check_same_tendency(&points, 0.05).is_ok());
     }
 
     #[test]
     fn same_tendency_accepts_decreasing_series() {
-        let points = vec![point(8.0, 50.0, 55.0), point(16.0, 20.0, 22.0), point(64.0, 5.0, 6.0)];
+        let points = vec![
+            point(8.0, 50.0, 55.0),
+            point(16.0, 20.0, 22.0),
+            point(64.0, 5.0, 6.0),
+        ];
         assert!(check_same_tendency(&points, 0.05).is_ok());
     }
 
@@ -164,10 +176,18 @@ mod tests {
     #[test]
     fn big_reversal_rejected_small_wiggle_tolerated() {
         // Wiggle within slack.
-        let points = vec![point(1.0, 10.0, 10.0), point(2.0, 9.9, 10.1), point(3.0, 30.0, 31.0)];
+        let points = vec![
+            point(1.0, 10.0, 10.0),
+            point(2.0, 9.9, 10.1),
+            point(3.0, 30.0, 31.0),
+        ];
         assert!(check_same_tendency(&points, 0.05).is_ok());
         // Hard reversal.
-        let points = vec![point(1.0, 10.0, 10.0), point(2.0, 5.0, 11.0), point(3.0, 30.0, 31.0)];
+        let points = vec![
+            point(1.0, 10.0, 10.0),
+            point(2.0, 5.0, 11.0),
+            point(3.0, 30.0, 31.0),
+        ];
         assert!(check_same_tendency(&points, 0.05).is_err());
     }
 

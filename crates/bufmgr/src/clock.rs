@@ -61,7 +61,10 @@ impl Ring {
     }
 
     fn select_victim(&mut self) -> PageId {
-        assert!(!self.index.is_empty(), "clock victim requested on empty pool");
+        assert!(
+            !self.index.is_empty(),
+            "clock victim requested on empty pool"
+        );
         let n = self.slots.len();
         loop {
             let pos = self.hand % n;
@@ -222,7 +225,7 @@ mod tests {
         p.on_admit(1);
         p.on_admit(2);
         p.on_access(1); // counter 3
-        // Sweep: decrement 1 → 2, find 2 at counter 0.
+                        // Sweep: decrement 1 → 2, find 2 at counter 0.
         assert_eq!(p.select_victim(), 2);
         p.on_evict(2);
         p.on_admit(3);

@@ -31,7 +31,10 @@ impl ReplacementPolicy for FifoPolicy {
     }
 
     fn select_victim(&mut self) -> PageId {
-        *self.queue.front().expect("FIFO victim requested on empty pool")
+        *self
+            .queue
+            .front()
+            .expect("FIFO victim requested on empty pool")
     }
 
     fn on_evict(&mut self, page: PageId) {

@@ -339,10 +339,7 @@ mod tests {
             for i in 0..1000u32 {
                 let page = (i * 7 + i / 3) % 40;
                 pool.access(page, i % 5 == 0);
-                assert!(
-                    pool.resident_count() <= 8,
-                    "{kind}: pool overflow"
-                );
+                assert!(pool.resident_count() <= 8, "{kind}: pool overflow");
             }
             let s = pool.stats();
             assert_eq!(s.hits + s.misses, 1000, "{kind}");

@@ -41,7 +41,10 @@ impl ReplacementPolicy for RandomPolicy {
     }
 
     fn select_victim(&mut self) -> PageId {
-        assert!(!self.pages.is_empty(), "RANDOM victim requested on empty pool");
+        assert!(
+            !self.pages.is_empty(),
+            "RANDOM victim requested on empty pool"
+        );
         let idx = self.stream.index(self.pages.len());
         self.pages[idx]
     }

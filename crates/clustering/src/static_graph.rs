@@ -128,7 +128,8 @@ mod tests {
             // earlier member (BFS order guarantees it).
             for (i, &oid) in cluster.iter().enumerate().skip(1) {
                 let linked = cluster[..i].iter().any(|&prev| {
-                    base.refs_of_type(prev, HIERARCHY_REF_TYPE).any(|t| t == oid)
+                    base.refs_of_type(prev, HIERARCHY_REF_TYPE)
+                        .any(|t| t == oid)
                 });
                 assert!(linked, "object {oid} not linked into its cluster");
             }

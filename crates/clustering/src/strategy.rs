@@ -116,9 +116,9 @@ impl ClusteringKind {
         match self {
             ClusteringKind::None => Box::new(NoClustering),
             ClusteringKind::Dstc(params) => Box::new(crate::dstc::Dstc::new(params.clone())),
-            ClusteringKind::StaticGraph { max_cluster_size } => {
-                Box::new(crate::static_graph::StaticGraphClustering::new(*max_cluster_size))
-            }
+            ClusteringKind::StaticGraph { max_cluster_size } => Box::new(
+                crate::static_graph::StaticGraphClustering::new(*max_cluster_size),
+            ),
         }
     }
 
@@ -171,7 +171,9 @@ mod tests {
         for kind in [
             ClusteringKind::None,
             ClusteringKind::Dstc(crate::dstc::DstcParams::default()),
-            ClusteringKind::StaticGraph { max_cluster_size: 16 },
+            ClusteringKind::StaticGraph {
+                max_cluster_size: 16,
+            },
         ] {
             let strategy = kind.build();
             assert!(!strategy.name().is_empty());

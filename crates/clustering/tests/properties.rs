@@ -13,10 +13,7 @@ fn arb_db() -> impl Strategy<Value = DatabaseParams> {
 }
 
 fn arb_trace() -> impl Strategy<Value = Vec<(Option<u32>, u32)>> {
-    prop::collection::vec(
-        (prop::option::of(0u32..40), 0u32..40),
-        1..400,
-    )
+    prop::collection::vec((prop::option::of(0u32..40), 0u32..40), 1..400)
 }
 
 proptest! {

@@ -21,7 +21,6 @@
 use bufmgr::{AccessOutcome, BufferPool, PolicyKind};
 use clustering::PageId;
 
-
 /// What an access to the buffer implies for the I/O Subsystem.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BufferDemand {
@@ -238,7 +237,10 @@ mod tests {
                 texas_ios += texas.access(page, false).total_ios();
             }
         }
-        assert!(texas_ios > standard_ios * 3 / 2, "{texas_ios} vs {standard_ios}");
+        assert!(
+            texas_ios > standard_ios * 3 / 2,
+            "{texas_ios} vs {standard_ios}"
+        );
     }
 
     #[test]

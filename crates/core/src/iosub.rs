@@ -134,7 +134,13 @@ mod tests {
         let d = DiskParams::table3_default();
         let expected = d.random_access_ms() + 2.0 * d.contiguous_access_ms();
         assert!((ms - expected).abs() < 1e-12);
-        assert_eq!(io.counts(), SimIoCounts { reads: 2, writes: 1 });
+        assert_eq!(
+            io.counts(),
+            SimIoCounts {
+                reads: 2,
+                writes: 1
+            }
+        );
         assert!((io.busy_ms() - expected).abs() < 1e-12);
     }
 
@@ -145,7 +151,13 @@ mod tests {
         let mark = io.counts();
         io.write(2);
         io.read(3);
-        assert_eq!(io.counts().since(mark), SimIoCounts { reads: 1, writes: 1 });
+        assert_eq!(
+            io.counts().since(mark),
+            SimIoCounts {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]

@@ -175,8 +175,7 @@ impl LockManager {
             }
             // Conflicting upgrade: falls through to the wait path.
         } else {
-            let compatible_with_holders =
-                lock.holders.values().all(|&h| h.compatible(mode));
+            let compatible_with_holders = lock.holders.values().all(|&h| h.compatible(mode));
             // Fairness: don't jump over queued waiters.
             if compatible_with_holders && lock.waiters.is_empty() {
                 lock.holders.insert(tid, mode);
@@ -218,8 +217,8 @@ impl LockManager {
             return resumed;
         };
         while let Some(&(tid, mode)) = lock.waiters.front() {
-            let upgrade = lock.holders.get(&tid) == Some(&LockMode::Shared)
-                && mode == LockMode::Exclusive;
+            let upgrade =
+                lock.holders.get(&tid) == Some(&LockMode::Shared) && mode == LockMode::Exclusive;
             let compatible = if upgrade {
                 lock.holders.len() == 1
             } else {
@@ -279,8 +278,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 10, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 10, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 10, LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 10, LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.held_count(1), 1);
         assert_eq!(lm.held_count(2), 1);
         assert_eq!(lm.stats().waits, 0);
@@ -289,9 +294,18 @@ mod tests {
     #[test]
     fn exclusive_conflicts_queue_fifo() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 10, LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 10, LockMode::Shared), LockOutcome::Queued);
-        assert_eq!(detect(&mut lm, 3, 10, LockMode::Shared), LockOutcome::Queued);
+        assert_eq!(
+            detect(&mut lm, 1, 10, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 10, LockMode::Shared),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            detect(&mut lm, 3, 10, LockMode::Shared),
+            LockOutcome::Queued
+        );
         assert!(lm.is_waiting(2));
         // Release: both shared waiters resume together.
         let resumed = lm.release_all(1);
@@ -304,8 +318,14 @@ mod tests {
     #[test]
     fn writer_behind_readers_waits_and_blocks_later_readers() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 5, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 5, LockMode::Exclusive), LockOutcome::Queued);
+        assert_eq!(
+            detect(&mut lm, 1, 5, LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 5, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
         // Fairness: a later reader must not starve the queued writer.
         assert_eq!(detect(&mut lm, 3, 5, LockMode::Shared), LockOutcome::Queued);
         let resumed = lm.release_all(1);
@@ -317,24 +337,48 @@ mod tests {
     #[test]
     fn reentrant_and_upgrade() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 7, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 7, LockMode::Shared),
+            LockOutcome::Granted
+        );
         // Re-request is free.
-        assert_eq!(detect(&mut lm, 1, 7, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 7, LockMode::Shared),
+            LockOutcome::Granted
+        );
         // Sole-holder upgrade succeeds immediately.
-        assert_eq!(detect(&mut lm, 1, 7, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 7, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // X subsumes S.
-        assert_eq!(detect(&mut lm, 1, 7, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 7, LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.held_count(1), 1);
     }
 
     #[test]
     fn two_transaction_deadlock_is_detected() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 100, LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 200, LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 1, 200, LockMode::Exclusive), LockOutcome::Queued);
+        assert_eq!(
+            detect(&mut lm, 1, 100, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 200, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 1, 200, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
         // 2 → 100 would close the cycle 1 → 200 → 2 → 100 → 1.
-        assert_eq!(detect(&mut lm, 2, 100, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            detect(&mut lm, 2, 100, LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
         assert_eq!(lm.stats().deadlocks, 1);
         // Victim aborts: everyone else proceeds.
         let resumed = lm.release_all(2);
@@ -346,21 +390,45 @@ mod tests {
     fn three_transaction_cycle_is_detected() {
         let mut lm = LockManager::new();
         for (tid, oid) in [(1, 10), (2, 20), (3, 30)] {
-            assert_eq!(detect(&mut lm, tid, oid, LockMode::Exclusive), LockOutcome::Granted);
+            assert_eq!(
+                detect(&mut lm, tid, oid, LockMode::Exclusive),
+                LockOutcome::Granted
+            );
         }
-        assert_eq!(detect(&mut lm, 1, 20, LockMode::Exclusive), LockOutcome::Queued);
-        assert_eq!(detect(&mut lm, 2, 30, LockMode::Exclusive), LockOutcome::Queued);
-        assert_eq!(detect(&mut lm, 3, 10, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            detect(&mut lm, 1, 20, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 30, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            detect(&mut lm, 3, 10, LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
     }
 
     #[test]
     fn upgrade_deadlock_between_two_readers() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 4, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 4, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            detect(&mut lm, 1, 4, LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 4, LockMode::Shared),
+            LockOutcome::Granted
+        );
         // Both try to upgrade: the first queues, the second deadlocks.
-        assert_eq!(detect(&mut lm, 1, 4, LockMode::Exclusive), LockOutcome::Queued);
-        assert_eq!(detect(&mut lm, 2, 4, LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            detect(&mut lm, 1, 4, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 4, LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
         // Victim 2 aborts → 1's upgrade proceeds.
         let resumed = lm.release_all(2);
         assert_eq!(resumed, vec![1]);
@@ -369,8 +437,14 @@ mod tests {
     #[test]
     fn abort_removes_pending_wait() {
         let mut lm = LockManager::new();
-        assert_eq!(detect(&mut lm, 1, 9, LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(detect(&mut lm, 2, 9, LockMode::Exclusive), LockOutcome::Queued);
+        assert_eq!(
+            detect(&mut lm, 1, 9, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            detect(&mut lm, 2, 9, LockMode::Exclusive),
+            LockOutcome::Queued
+        );
         // 2 aborts while waiting.
         let resumed = lm.release_all(2);
         assert!(resumed.is_empty());

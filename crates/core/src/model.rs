@@ -27,10 +27,10 @@
 use crate::bman::BufferingManager;
 use crate::cman::{ClusteringManager, SimReorgReport};
 use crate::hazards::{HazardKind, HazardModule, HazardReport};
-use crate::lockmgr::{LockManager, LockMode, LockOutcome, LockStats};
-use crate::params::ConcurrencyControl;
 use crate::iosub::{IoSubsystem, SimIoCounts};
+use crate::lockmgr::{LockManager, LockMode, LockOutcome, LockStats};
 use crate::oman::ObjectManager;
+use crate::params::ConcurrencyControl;
 use crate::params::{SystemClass, VoodbParams};
 use crate::results::PhaseResult;
 use bufmgr::PrefetchPolicy;
@@ -163,12 +163,7 @@ impl<'a> VoodbModel<'a> {
     ///
     /// # Panics
     /// Panics if the parameters are invalid.
-    pub fn new(
-        base: &'a ObjectBase,
-        params: VoodbParams,
-        think_time_ms: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(base: &'a ObjectBase, params: VoodbParams, think_time_ms: f64, seed: u64) -> Self {
         params.validate().expect("invalid VOODB parameters");
         let placement = params.initial_placement.build(base, params.page_size);
         let oman = ObjectManager::new(&placement);
@@ -364,8 +359,12 @@ impl<'a> VoodbModel<'a> {
     /// Performs an externally demanded reorganisation (the knowledge
     /// model's *external triggering* path), between phases.
     pub fn external_reorganize(&mut self) -> SimReorgReport {
-        self.cman
-            .reorganize(self.base, &mut self.oman, &mut self.bman[0], &mut self.iosub[0])
+        self.cman.reorganize(
+            self.base,
+            &mut self.oman,
+            &mut self.bman[0],
+            &mut self.iosub[0],
+        )
     }
 
     /// Extracts the finished phase's results. Call after the engine run.
@@ -448,9 +447,7 @@ impl<'a> VoodbModel<'a> {
         let mut reads = demand.reads;
         // Prefetching (Table 3 PREFETCH) on a miss.
         if !demand.hit {
-            let staged = self
-                .prefetcher
-                .after_miss(page, self.oman.page_count());
+            let staged = self.prefetcher.after_miss(page, self.oman.page_count());
             for p in staged {
                 if self.site_of(p) == site {
                     let extra = self.bman[site].prefetch(p);
@@ -565,7 +562,10 @@ impl Model for VoodbModel<'_> {
                 }
                 match self.params.concurrency {
                     ConcurrencyControl::TimedOnly => self.after_lock_granted(tid, ctx),
-                    ConcurrencyControl::TwoPhase { restart_backoff_ms, deadlock } => {
+                    ConcurrencyControl::TwoPhase {
+                        restart_backoff_ms,
+                        deadlock,
+                    } => {
                         let (oid, mode) = {
                             let t = &self.active[&tid];
                             let access = &t.accesses[t.pos];

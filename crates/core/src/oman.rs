@@ -186,10 +186,7 @@ mod tests {
         let (_, fresh) = oman.relocate(&base, &[7, 7, 7, 8]);
         assert_eq!(fresh.len(), 1);
         let page = oman.page_of(7);
-        assert_eq!(
-            oman.objects_in(page).iter().filter(|&&o| o == 7).count(),
-            1
-        );
+        assert_eq!(oman.objects_in(page).iter().filter(|&&o| o == 7).count(), 1);
     }
 
     #[test]

@@ -269,8 +269,7 @@ impl VoodbParams {
         if self.get_lock_ms < 0.0 || self.release_lock_ms < 0.0 {
             return Err("lock times must be non-negative".into());
         }
-        if self.disk.search_ms < 0.0 || self.disk.latency_ms < 0.0 || self.disk.transfer_ms < 0.0
-        {
+        if self.disk.search_ms < 0.0 || self.disk.latency_ms < 0.0 || self.disk.transfer_ms < 0.0 {
             return Err("disk times must be non-negative".into());
         }
         if let SystemClass::HybridMultiServer { servers } = self.system_class {
@@ -279,7 +278,10 @@ impl VoodbParams {
             }
         }
         self.hazards.validate()?;
-        if let ConcurrencyControl::TwoPhase { restart_backoff_ms, .. } = self.concurrency {
+        if let ConcurrencyControl::TwoPhase {
+            restart_backoff_ms, ..
+        } = self.concurrency
+        {
             if restart_backoff_ms < 0.0 {
                 return Err("restart backoff must be non-negative".into());
             }

@@ -90,7 +90,10 @@ mod tests {
     fn metric_set_round_trip() {
         let result = PhaseResult {
             transactions: 10,
-            io: SimIoCounts { reads: 40, writes: 10 },
+            io: SimIoCounts {
+                reads: 40,
+                writes: 10,
+            },
             mean_response_ms: 12.5,
             throughput_tps: 80.0,
             hit_ratio: 0.9,

@@ -2,8 +2,8 @@
 //! "concurrency control" module).
 
 use ocb::{DatabaseParams, ObjectBase, Selection, WorkloadGenerator, WorkloadParams};
-use voodb::{ConcurrencyControl, Simulation, VoodbParams};
 use voodb::lockmgr::DeadlockPolicy;
+use voodb::{ConcurrencyControl, Simulation, VoodbParams};
 
 /// Wait-die two-phase locking (livelock-free under hot contention).
 fn two_phase() -> ConcurrencyControl {
@@ -64,13 +64,7 @@ fn single_user_two_phase_changes_nothing() {
     let base = base();
     let txs = contended_transactions(&base, 40, 1);
     let (timed, _, _) = run(&base, ConcurrencyControl::TimedOnly, 1, txs.clone(), 1);
-    let (locked, stats, aborts) = run(
-        &base,
-        two_phase(),
-        1,
-        txs,
-        1,
-    );
+    let (locked, stats, aborts) = run(&base, two_phase(), 1, txs, 1);
     // One user can never conflict with itself across transactions.
     assert_eq!(stats.waits, 0);
     assert_eq!(stats.deadlocks, 0);
@@ -84,13 +78,7 @@ fn contended_writers_wait_or_deadlock_but_all_commit() {
     let base = base();
     let txs = contended_transactions(&base, 60, 2);
     let n = txs.len();
-    let (result, stats, aborts) = run(
-        &base,
-        two_phase(),
-        6,
-        txs,
-        2,
-    );
+    let (result, stats, aborts) = run(&base, two_phase(), 6, txs, 2);
     assert_eq!(result.transactions, n, "every transaction must commit");
     assert!(
         stats.waits > 0 || stats.deadlocks > 0,
@@ -104,13 +92,7 @@ fn contention_slows_response_times() {
     let base = base();
     let txs = contended_transactions(&base, 60, 3);
     let (timed, _, _) = run(&base, ConcurrencyControl::TimedOnly, 6, txs.clone(), 3);
-    let (locked, stats, _) = run(
-        &base,
-        two_phase(),
-        6,
-        txs,
-        3,
-    );
+    let (locked, stats, _) = run(&base, two_phase(), 6, txs, 3);
     if stats.waits > 0 {
         assert!(
             locked.mean_response_ms >= timed.mean_response_ms,
@@ -136,13 +118,7 @@ fn read_only_workload_never_conflicts() {
     };
     let mut generator = WorkloadGenerator::new(&base, params, 4);
     let txs: Vec<_> = (0..50).map(|_| generator.next_transaction()).collect();
-    let (result, stats, aborts) = run(
-        &base,
-        two_phase(),
-        6,
-        txs,
-        4,
-    );
+    let (result, stats, aborts) = run(&base, two_phase(), 6, txs, 4);
     assert_eq!(result.transactions, 50);
     assert_eq!(stats.waits, 0, "shared locks never conflict");
     assert_eq!(aborts, 0);

@@ -18,7 +18,11 @@ fn transactions(base: &ObjectBase, n: usize, seed: u64) -> Vec<ocb::Transaction>
     (0..n).map(|_| generator.next_transaction()).collect()
 }
 
-fn run(base: &ObjectBase, hazards: HazardParams, seed: u64) -> (voodb::PhaseResult, voodb::HazardReport) {
+fn run(
+    base: &ObjectBase,
+    hazards: HazardParams,
+    seed: u64,
+) -> (voodb::PhaseResult, voodb::HazardReport) {
     let txs = transactions(base, 60, seed);
     let mut simulation = Simulation::new(
         base,
@@ -60,9 +64,7 @@ fn benign_failures_stall_but_lose_nothing() {
     // Same workload, same buffer trajectory: I/Os unchanged, time worse.
     assert_eq!(stalled.total_ios(), clean.total_ios());
     assert!(stalled.sim_elapsed_ms > clean.sim_elapsed_ms);
-    assert!(
-        (report.downtime_ms - report.benign_failures as f64 * 100.0).abs() < 1e-9
-    );
+    assert!((report.downtime_ms - report.benign_failures as f64 * 100.0).abs() < 1e-9);
 }
 
 #[test]
@@ -86,7 +88,10 @@ fn crashes_cost_recovery_ios_and_refaults() {
         clean.total_ios()
     );
     assert!(crashed.sim_elapsed_ms > clean.sim_elapsed_ms);
-    assert!(crashed.transactions == 60, "every transaction still completes");
+    assert!(
+        crashed.transactions == 60,
+        "every transaction still completes"
+    );
 }
 
 #[test]

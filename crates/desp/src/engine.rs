@@ -374,10 +374,7 @@ mod tests {
         let outcome = engine.run_to_completion();
         assert_eq!(outcome.reason, StopReason::Exhausted);
         assert_eq!(outcome.events_dispatched, 3);
-        assert_eq!(
-            engine.model().fired,
-            vec![(1.0, 2), (3.0, 3), (5.0, 1)]
-        );
+        assert_eq!(engine.model().fired, vec![(1.0, 2), (3.0, 3), (5.0, 1)]);
     }
 
     #[test]
@@ -388,10 +385,7 @@ mod tests {
         };
         let mut engine = Engine::new(model);
         engine.run_to_completion();
-        assert_eq!(
-            engine.model().fired,
-            vec![(2.0, 10), (2.0, 11), (2.0, 12)]
-        );
+        assert_eq!(engine.model().fired, vec![(2.0, 10), (2.0, 11), (2.0, 12)]);
     }
 
     /// A model that reschedules itself forever (stopped via horizon/budget).

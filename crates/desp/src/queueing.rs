@@ -83,7 +83,11 @@ impl Mmc {
             lambda < mu * servers as f64,
             "M/M/c requires lambda < c*mu for stability"
         );
-        Mmc { lambda, mu, servers }
+        Mmc {
+            lambda,
+            mu,
+            servers,
+        }
     }
 
     /// Offered load a = λ/μ (in Erlangs).
@@ -176,7 +180,8 @@ impl Model for QueueSim {
                 self.arrival_time.push(ctx.now().as_ms());
                 debug_assert_eq!(self.arrival_time.len() as u64 - 1, id);
                 self.population += 1;
-                self.in_system.update(ctx.now().as_ms(), self.population as f64);
+                self.in_system
+                    .update(ctx.now().as_ms(), self.population as f64);
                 self.servers.request(QueueEvent::StartService(id), ctx);
                 // Next arrival, unless past the horizon (events beyond the
                 // horizon would be cut by run_until anyway; stop generating
@@ -196,7 +201,8 @@ impl Model for QueueSim {
                     self.response.add(ctx.now().as_ms() - arrived);
                 }
                 self.population -= 1;
-                self.in_system.update(ctx.now().as_ms(), self.population as f64);
+                self.in_system
+                    .update(ctx.now().as_ms(), self.population as f64);
                 self.servers.release(ctx);
             }
         }
@@ -308,9 +314,19 @@ mod tests {
         let r = simulate_mm1(lambda, mu, 400_000.0, 40_000.0, 12345);
         assert!(r.served > 100_000);
         let rel_w = (r.mean_response - theory.mean_response()).abs() / theory.mean_response();
-        assert!(rel_w < 0.05, "W sim {} vs theory {}", r.mean_response, theory.mean_response());
+        assert!(
+            rel_w < 0.05,
+            "W sim {} vs theory {}",
+            r.mean_response,
+            theory.mean_response()
+        );
         let rel_l = (r.mean_in_system - theory.mean_in_system()).abs() / theory.mean_in_system();
-        assert!(rel_l < 0.05, "L sim {} vs theory {}", r.mean_in_system, theory.mean_in_system());
+        assert!(
+            rel_l < 0.05,
+            "L sim {} vs theory {}",
+            r.mean_in_system,
+            theory.mean_in_system()
+        );
         assert!((r.utilization - theory.utilization()).abs() < 0.02);
     }
 
@@ -320,7 +336,12 @@ mod tests {
         let theory = Mmc::new(lambda, mu, c);
         let r = simulate_mmc(lambda, mu, c, 400_000.0, 40_000.0, 999);
         let rel_w = (r.mean_response - theory.mean_response()).abs() / theory.mean_response();
-        assert!(rel_w < 0.05, "W sim {} vs theory {}", r.mean_response, theory.mean_response());
+        assert!(
+            rel_w < 0.05,
+            "W sim {} vs theory {}",
+            r.mean_response,
+            theory.mean_response()
+        );
         assert!((r.utilization - theory.utilization()).abs() < 0.02);
     }
 

@@ -62,10 +62,7 @@ impl Xoshiro256 {
     #[inline]
     fn next(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -348,7 +345,9 @@ impl Zipf {
     pub fn sample(&self, stream: &mut RandomStream) -> usize {
         let u = stream.uniform01();
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -369,7 +368,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = RandomStream::new(1);
         let mut b = RandomStream::new(2);
-        let same = (0..64).filter(|_| a.rng().next_u64() == b.rng().next_u64()).count();
+        let same = (0..64)
+            .filter(|_| a.rng().next_u64() == b.rng().next_u64())
+            .count();
         assert!(same < 2, "streams with different seeds should diverge");
     }
 
@@ -509,7 +510,9 @@ mod tests {
         let fam = StreamFamily::new(99);
         let mut s0 = fam.stream(0);
         let mut s1 = fam.stream(1);
-        let equal = (0..64).filter(|_| s0.rng().next_u64() == s1.rng().next_u64()).count();
+        let equal = (0..64)
+            .filter(|_| s0.rng().next_u64() == s1.rng().next_u64())
+            .count();
         assert!(equal < 2);
         // Stability: same (seed, id) → same stream.
         let mut s0b = StreamFamily::new(99).stream(0);

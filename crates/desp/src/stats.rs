@@ -188,7 +188,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// fraction (Numerical Recipes style).
 pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "incomplete_beta: a, b must be positive");
-    assert!((0.0..=1.0).contains(&x), "incomplete_beta: x must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "incomplete_beta: x must be in [0,1]"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -276,7 +279,10 @@ pub fn student_t_cdf(t: f64, df: f64) -> f64 {
 /// Quantile (inverse CDF) of the Student t-distribution, by bisection on the
 /// CDF. Accurate to ~1e-10, far beyond what output analysis needs.
 pub fn student_t_quantile(p: f64, df: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile: p must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "quantile: p must be in (0,1)"
+    );
     assert!(df > 0.0, "quantile: df must be positive");
     if (p - 0.5).abs() < 1e-15 {
         return 0.0;
@@ -388,7 +394,10 @@ impl ConfidenceInterval {
 /// least `n_pilot`.
 pub fn required_replications(n_pilot: usize, h_pilot: f64, h_star: f64) -> usize {
     assert!(n_pilot > 0);
-    assert!(h_star > 0.0, "required_replications: desired half-width must be positive");
+    assert!(
+        h_star > 0.0,
+        "required_replications: desired half-width must be positive"
+    );
     if !h_pilot.is_finite() {
         return usize::MAX;
     }

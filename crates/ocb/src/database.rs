@@ -164,10 +164,7 @@ impl ObjectBase {
 
     /// Iterates `(oid, object)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Oid, &Object)> {
-        self.objects
-            .iter()
-            .enumerate()
-            .map(|(i, o)| (i as Oid, o))
+        self.objects.iter().enumerate().map(|(i, o)| (i as Oid, o))
     }
 
     /// References of `oid` restricted to one reference type.

@@ -170,10 +170,15 @@ impl DatabaseParams {
         if self.base_size == 0 || self.size_factor == 0 {
             return Err("object sizes must be positive".into());
         }
-        for (name, sel) in [("instance_dist", self.instance_dist), ("ref_dist", self.ref_dist)] {
+        for (name, sel) in [
+            ("instance_dist", self.instance_dist),
+            ("ref_dist", self.ref_dist),
+        ] {
             sel.validate().map_err(|e| format!("{name}: {e}"))?;
             if matches!(sel, Selection::HotSet { .. }) {
-                return Err(format!("{name}: HotSet is only supported for root selection"));
+                return Err(format!(
+                    "{name}: HotSet is only supported for root selection"
+                ));
             }
         }
         Ok(())
@@ -298,7 +303,12 @@ impl WorkloadParams {
 
     /// Transaction-mix weights in [`TransactionKind::ALL`] order.
     pub fn mix_weights(&self) -> [f64; 4] {
-        [self.p_set, self.p_simple, self.p_hierarchy, self.p_stochastic]
+        [
+            self.p_set,
+            self.p_simple,
+            self.p_hierarchy,
+            self.p_stochastic,
+        ]
     }
 
     /// Validates internal consistency.
@@ -331,7 +341,9 @@ impl WorkloadParams {
         if self.think_time_ms < 0.0 {
             return Err("think_time_ms must be non-negative".into());
         }
-        self.root_dist.validate().map_err(|e| format!("root_dist: {e}"))?;
+        self.root_dist
+            .validate()
+            .map_err(|e| format!("root_dist: {e}"))?;
         Ok(())
     }
 }
@@ -412,15 +424,33 @@ mod tests {
     #[test]
     fn selection_validation() {
         assert!(Selection::Zipf(-1.0).validate().is_err());
-        assert!(Selection::HotSet { fraction: 0.0, p_hot: 0.5 }.validate().is_err());
-        assert!(Selection::HotSet { fraction: 0.1, p_hot: 1.5 }.validate().is_err());
-        assert!(Selection::HotSet { fraction: 0.1, p_hot: 0.9 }.validate().is_ok());
+        assert!(Selection::HotSet {
+            fraction: 0.0,
+            p_hot: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(Selection::HotSet {
+            fraction: 0.1,
+            p_hot: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(Selection::HotSet {
+            fraction: 0.1,
+            p_hot: 0.9
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn hotset_rejected_for_database_dists() {
         let db = DatabaseParams {
-            instance_dist: Selection::HotSet { fraction: 0.1, p_hot: 0.9 },
+            instance_dist: Selection::HotSet {
+                fraction: 0.1,
+                p_hot: 0.9,
+            },
             ..DatabaseParams::default()
         };
         assert!(db.validate().is_err());

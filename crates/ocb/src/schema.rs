@@ -132,7 +132,11 @@ impl Schema {
         if self.classes.is_empty() {
             return 0.0;
         }
-        self.classes.iter().map(|c| c.refs.len() as f64).sum::<f64>() / self.classes.len() as f64
+        self.classes
+            .iter()
+            .map(|c| c.refs.len() as f64)
+            .sum::<f64>()
+            / self.classes.len() as f64
     }
 }
 
@@ -200,7 +204,12 @@ mod tests {
                 // Circular distance between class and target ≤ window.
                 let d = (class.id as isize - r.target as isize).rem_euclid(100);
                 let circ = d.min(100 - d);
-                assert!(circ <= 5, "class {} → {} distance {circ}", class.id, r.target);
+                assert!(
+                    circ <= 5,
+                    "class {} → {} distance {circ}",
+                    class.id,
+                    r.target
+                );
             }
         }
     }

@@ -248,7 +248,10 @@ impl<'a> WorkloadGenerator<'a> {
     /// of `(base, params, seed)`.
     pub fn new(base: &'a ObjectBase, params: WorkloadParams, seed: u64) -> Self {
         params.validate().expect("invalid workload parameters");
-        assert!(!base.is_empty(), "cannot generate a workload on an empty base");
+        assert!(
+            !base.is_empty(),
+            "cannot generate a workload on an empty base"
+        );
         let mut stream = RandomStream::new(seed);
         let roots = match params.root_dist {
             Selection::Uniform => RootSampler::Uniform,
@@ -260,8 +263,7 @@ impl<'a> WorkloadGenerator<'a> {
             Selection::HotSet { fraction, p_hot } => {
                 let mut perm: Vec<Oid> = (0..base.len() as Oid).collect();
                 stream.shuffle(&mut perm);
-                let hot = ((base.len() as f64 * fraction).ceil() as usize)
-                    .clamp(1, base.len());
+                let hot = ((base.len() as f64 * fraction).ceil() as usize).clamp(1, base.len());
                 RootSampler::HotSet { perm, hot, p_hot }
             }
         };
@@ -376,7 +378,11 @@ mod tests {
         let mut sorted = oids.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), oids.len(), "set access must not repeat objects");
+        assert_eq!(
+            sorted.len(),
+            oids.len(),
+            "set access must not repeat objects"
+        );
         assert_eq!(oids[0], 0);
         assert!(oids.len() > 1);
     }
@@ -425,7 +431,8 @@ mod tests {
         for &(oid, parent) in &steps[1..] {
             let parent = parent.unwrap();
             assert!(
-                base.refs_of_type(parent, HIERARCHY_REF_TYPE).any(|t| t == oid),
+                base.refs_of_type(parent, HIERARCHY_REF_TYPE)
+                    .any(|t| t == oid),
                 "edge {parent}→{oid} is not a hierarchy reference"
             );
         }
@@ -472,7 +479,10 @@ mod tests {
         let mut counts = [0usize; 4];
         for _ in 0..2000 {
             let t = generator.next_transaction();
-            let idx = TransactionKind::ALL.iter().position(|&k| k == t.kind).unwrap();
+            let idx = TransactionKind::ALL
+                .iter()
+                .position(|&k| k == t.kind)
+                .unwrap();
             counts[idx] += 1;
         }
         for &c in &counts {
@@ -484,8 +494,7 @@ mod tests {
     #[test]
     fn pure_hierarchy_mix_generates_only_hierarchy() {
         let base = base();
-        let mut generator =
-            WorkloadGenerator::new(&base, WorkloadParams::dstc_favorable(), 37);
+        let mut generator = WorkloadGenerator::new(&base, WorkloadParams::dstc_favorable(), 37);
         for _ in 0..50 {
             let t = generator.next_transaction();
             assert_eq!(t.kind, TransactionKind::HierarchyTraversal);
@@ -544,7 +553,11 @@ mod tests {
         let base = base();
         let mut generator = WorkloadGenerator::new(&base, WorkloadParams::small(), 47);
         for _ in 0..50 {
-            assert!(generator.next_transaction().accesses.iter().all(|a| !a.write));
+            assert!(generator
+                .next_transaction()
+                .accesses
+                .iter()
+                .all(|a| !a.write));
         }
     }
 
@@ -569,9 +582,21 @@ mod tests {
             kind: TransactionKind::SetOriented,
             root: 1,
             accesses: vec![
-                Access { oid: 1, parent: None, write: false },
-                Access { oid: 2, parent: Some(1), write: false },
-                Access { oid: 1, parent: Some(2), write: true },
+                Access {
+                    oid: 1,
+                    parent: None,
+                    write: false,
+                },
+                Access {
+                    oid: 2,
+                    parent: Some(1),
+                    write: false,
+                },
+                Access {
+                    oid: 1,
+                    parent: Some(2),
+                    write: true,
+                },
             ],
         };
         assert_eq!(t.len(), 3);

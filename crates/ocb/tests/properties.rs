@@ -2,8 +2,7 @@
 
 use ocb::{
     hierarchy_traversal, set_oriented, simple_traversal, stochastic_traversal, DatabaseParams,
-    ObjectBase, Selection, TransactionKind, WorkloadGenerator, WorkloadParams,
-    HIERARCHY_REF_TYPE,
+    ObjectBase, Selection, TransactionKind, WorkloadGenerator, WorkloadParams, HIERARCHY_REF_TYPE,
 };
 use proptest::prelude::*;
 

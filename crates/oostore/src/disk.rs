@@ -227,7 +227,13 @@ mod tests {
         d.read(0);
         d.read(5);
         d.write(3, SlottedPage::new(4096));
-        assert_eq!(d.counts(), IoCounts { reads: 2, writes: 1 });
+        assert_eq!(
+            d.counts(),
+            IoCounts {
+                reads: 2,
+                writes: 1
+            }
+        );
         assert_eq!(d.counts().total(), 3);
     }
 
@@ -270,7 +276,13 @@ mod tests {
         d.read(1);
         d.write_back(1);
         let delta = d.counts().since(mark);
-        assert_eq!(delta, IoCounts { reads: 1, writes: 1 });
+        assert_eq!(
+            delta,
+            IoCounts {
+                reads: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]

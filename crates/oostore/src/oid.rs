@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let oid = PhysicalOid { page: 0xDEAD_BEEF, slot: 0x1234 };
+        let oid = PhysicalOid {
+            page: 0xDEAD_BEEF,
+            slot: 0x1234,
+        };
         let mut buf = [0u8; PhysicalOid::WIRE_BYTES];
         oid.encode(&mut buf);
         assert_eq!(PhysicalOid::decode(&buf), oid);

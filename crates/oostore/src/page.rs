@@ -84,8 +84,7 @@ impl SlottedPage {
     /// Free bytes available for one more `insert` of the given payload
     /// length (slot entry included).
     pub fn free_for(&self, payload_len: u32) -> bool {
-        let dir_end =
-            PAGE_HEADER_BYTES + (self.slot_count() as u32 + 1) * SLOT_ENTRY_BYTES;
+        let dir_end = PAGE_HEADER_BYTES + (self.slot_count() as u32 + 1) * SLOT_ENTRY_BYTES;
         dir_end + payload_len <= self.payload_floor() as u32
     }
 
@@ -154,7 +153,6 @@ impl SlottedPage {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,9 +170,7 @@ mod tests {
     #[test]
     fn payloads_do_not_overlap() {
         let mut page = SlottedPage::new(4096);
-        let slots: Vec<SlotId> = (0..10)
-            .map(|i| page.insert(&[i as u8; 100]))
-            .collect();
+        let slots: Vec<SlotId> = (0..10).map(|i| page.insert(&[i as u8; 100])).collect();
         for (i, &slot) in slots.iter().enumerate() {
             let payload = page.get(slot).unwrap();
             assert_eq!(payload.len(), 100);
@@ -191,7 +187,10 @@ mod tests {
             page.insert(&[0u8; 100]);
             inserted += 1;
         }
-        assert_eq!(inserted, (4096 - PAGE_HEADER_BYTES) / (100 + SLOT_ENTRY_BYTES));
+        assert_eq!(
+            inserted,
+            (4096 - PAGE_HEADER_BYTES) / (100 + SLOT_ENTRY_BYTES)
+        );
     }
 
     #[test]

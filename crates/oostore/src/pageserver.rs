@@ -11,8 +11,8 @@
 use crate::disk::{DiskTimings, IoCounts, VirtualDisk};
 use crate::engine::StorageEngine;
 use crate::oid::PhysicalOid;
-use crate::reorg::ReorgReport;
 use crate::page::SlottedPage;
+use crate::reorg::ReorgReport;
 use crate::storage::{materialize, payload_oid, serialize_object};
 use bufmgr::{AccessOutcome, BufferPool, PolicyKind};
 use clustering::{ClusteringKind, ClusteringStrategy, InitialPlacement, PageId};
@@ -262,10 +262,8 @@ impl<'a> PageServerEngine<'a> {
             let object = self.base.object(oid);
             let cost = object.size + SLOT_ENTRY_BYTES;
             if used + cost > capacity && used > 0 {
-                self.disk.append_page(std::mem::replace(
-                    &mut current,
-                    SlottedPage::new(page_size),
-                ));
+                self.disk
+                    .append_page(std::mem::replace(&mut current, SlottedPage::new(page_size)));
                 new_page_index += 1;
                 used = 0;
             }
@@ -292,7 +290,10 @@ impl<'a> PageServerEngine<'a> {
         // logical OIDs is that only the map changes.
         let mut table_pages: BTreeMap<PageId, Vec<Oid>> = BTreeMap::new();
         for &oid in &cluster_order {
-            table_pages.entry(self.oid_page_of(oid)).or_default().push(oid);
+            table_pages
+                .entry(self.oid_page_of(oid))
+                .or_default()
+                .push(oid);
         }
         for (&page, oids) in &table_pages {
             self.disk.read(page);
@@ -390,12 +391,23 @@ mod tests {
         let t = Transaction {
             kind: ocb::TransactionKind::SetOriented,
             root: 3,
-            accesses: vec![ocb::Access { oid: 3, parent: None, write: false }; 5],
+            accesses: vec![
+                ocb::Access {
+                    oid: 3,
+                    parent: None,
+                    write: false
+                };
+                5
+            ],
         };
         engine.execute(&t);
         // Two cold reads: the persistent OID-table page and the data page.
         assert_eq!(engine.io_counts().reads, 2);
-        assert_eq!(engine.counters().pages_shipped, 5, "network still pays per request");
+        assert_eq!(
+            engine.counters().pages_shipped,
+            5,
+            "network still pays per request"
+        );
         // Each access looks up the OID table then the data page: 10
         // lookups, 2 cold misses.
         assert_eq!(engine.buffer_stats().hits, 8);
@@ -481,7 +493,11 @@ mod tests {
         let t = Transaction {
             kind: ocb::TransactionKind::SetOriented,
             root: 1,
-            accesses: vec![ocb::Access { oid: 1, parent: None, write: true }],
+            accesses: vec![ocb::Access {
+                oid: 1,
+                parent: None,
+                write: true,
+            }],
         };
         engine.execute(&t);
         let writes_before = engine.io_counts().writes;

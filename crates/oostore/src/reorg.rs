@@ -22,7 +22,7 @@ use crate::oid::PhysicalOid;
 use crate::page::SlottedPage;
 use crate::storage::{patch_ref, payload_refs, serialize_object};
 use crate::texas::TexasEngine;
-use clustering::{ClusteringOutcome, PageId, SLOT_ENTRY_BYTES, PAGE_HEADER_BYTES};
+use clustering::{ClusteringOutcome, PageId, PAGE_HEADER_BYTES, SLOT_ENTRY_BYTES};
 use ocb::Oid;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -136,13 +136,13 @@ impl TexasEngine<'_> {
         // where the target also moved, and write each page once.
         // (Serialisation uses the post-move map for refs to moved objects,
         // old locations otherwise — the scan below fixes nothing here.)
-        let lookup = |engine: &TexasEngine<'_>, target: Oid,
-                      new_phys: &HashMap<Oid, PhysicalOid>| {
-            new_phys
-                .get(&target)
-                .copied()
-                .unwrap_or_else(|| engine.physical_oid(target))
-        };
+        let lookup =
+            |engine: &TexasEngine<'_>, target: Oid, new_phys: &HashMap<Oid, PhysicalOid>| {
+                new_phys
+                    .get(&target)
+                    .copied()
+                    .unwrap_or_else(|| engine.physical_oid(target))
+            };
         let mut built_pages: Vec<SlottedPage> = Vec::new();
         for members in &cluster_pages {
             let mut slotted = SlottedPage::new(page_size);

@@ -54,7 +54,9 @@ pub fn payload_refs(payload: &[u8]) -> Vec<PhysicalOid> {
     let mut refs = Vec::with_capacity(nrefs);
     for i in 0..nrefs {
         let at = OBJECT_HEADER_BYTES as usize + i * PhysicalOid::WIRE_BYTES;
-        refs.push(PhysicalOid::decode(&payload[at..at + PhysicalOid::WIRE_BYTES]));
+        refs.push(PhysicalOid::decode(
+            &payload[at..at + PhysicalOid::WIRE_BYTES],
+        ));
     }
     refs
 }
@@ -71,9 +73,15 @@ pub fn patch_ref(payload: &mut [u8], index: usize, new_target: PhysicalOid) {
 /// Two passes: slots are assigned first (page layout is fully determined by
 /// the placement), then payloads are written with the final physical OIDs
 /// of their reference targets.
-pub fn materialize(base: &ObjectBase, placement: &Placement) -> (Vec<SlottedPage>, Vec<PhysicalOid>) {
+pub fn materialize(
+    base: &ObjectBase,
+    placement: &Placement,
+) -> (Vec<SlottedPage>, Vec<PhysicalOid>) {
     let mut phys_of = vec![
-        PhysicalOid { page: u32::MAX, slot: u16::MAX };
+        PhysicalOid {
+            page: u32::MAX,
+            slot: u16::MAX
+        };
         base.len()
     ];
     // Pass 1: assign physical OIDs in placement order.
@@ -176,8 +184,7 @@ mod tests {
                 assert_eq!(*stored, phys_of[logical_target as usize]);
                 // Follow the stored reference: the payload there must carry
                 // the target's logical OID.
-                let target_payload =
-                    pages[stored.page as usize].get(stored.slot).unwrap();
+                let target_payload = pages[stored.page as usize].get(stored.slot).unwrap();
                 assert_eq!(payload_oid(target_payload), logical_target);
             }
         }

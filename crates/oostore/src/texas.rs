@@ -470,7 +470,11 @@ mod tests {
             kind: ocb::TransactionKind::SetOriented,
             root: 5,
             accesses: vec![
-                ocb::Access { oid: 5, parent: None, write: false };
+                ocb::Access {
+                    oid: 5,
+                    parent: None,
+                    write: false
+                };
                 10
             ],
         };
@@ -489,7 +493,11 @@ mod tests {
         let t = Transaction {
             kind: ocb::TransactionKind::SetOriented,
             root: 0,
-            accesses: vec![ocb::Access { oid: 0, parent: None, write: false }],
+            accesses: vec![ocb::Access {
+                oid: 0,
+                parent: None,
+                write: false,
+            }],
         };
         without.execute(&t);
         with.execute(&t);
@@ -557,7 +565,11 @@ mod tests {
         let t = Transaction {
             kind: ocb::TransactionKind::SetOriented,
             root: 9,
-            accesses: vec![ocb::Access { oid: 9, parent: None, write: false }],
+            accesses: vec![ocb::Access {
+                oid: 9,
+                parent: None,
+                write: false,
+            }],
         };
         engine.execute(&t);
         assert_eq!(engine.io_counts().reads, 1);

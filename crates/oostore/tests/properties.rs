@@ -3,8 +3,7 @@
 
 use clustering::{PAGE_HEADER_BYTES, SLOT_ENTRY_BYTES};
 use oostore::{
-    payload_oid, payload_refs, serialize_object, DiskTimings, PhysicalOid, SlottedPage,
-    VirtualDisk,
+    payload_oid, payload_refs, serialize_object, DiskTimings, PhysicalOid, SlottedPage, VirtualDisk,
 };
 use proptest::prelude::*;
 

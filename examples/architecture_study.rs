@@ -30,7 +30,10 @@ fn main() {
         ("Object Server", SystemClass::ObjectServer),
         ("Page Server", SystemClass::PageServer),
         ("DB Server", SystemClass::DbServer),
-        ("Hybrid (3 srv)", SystemClass::HybridMultiServer { servers: 3 }),
+        (
+            "Hybrid (3 srv)",
+            SystemClass::HybridMultiServer { servers: 3 },
+        ),
     ];
 
     println!("architecture study: 5000 objects, 1 MB/s network, 512-page buffer");

@@ -27,7 +27,10 @@ fn main() {
     let reps = 5;
 
     println!("replacement-policy study: 5000 objects, 256-page buffer, Table 5 mix");
-    println!("{:<12} {:>12} {:>10} {:>10}", "policy", "mean I/Os", "±95%", "hit ratio");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "policy", "mean I/Os", "±95%", "hit ratio"
+    );
     let mut ranked: Vec<(String, f64)> = Vec::new();
     for policy in PolicyKind::all_default() {
         let config = ExperimentConfig {

@@ -29,7 +29,10 @@ fn main() {
     println!("single replication (seed 42):");
     println!("  transactions        {:>10}", result.transactions);
     println!("  total I/Os          {:>10}", result.total_ios());
-    println!("  I/Os per tx         {:>10.2}", result.ios_per_transaction());
+    println!(
+        "  I/Os per tx         {:>10.2}",
+        result.ios_per_transaction()
+    );
     println!("  mean response       {:>10.2} ms", result.mean_response_ms);
     println!("  throughput          {:>10.2} tx/s", result.throughput_tps);
     println!("  buffer hit ratio    {:>10.4}", result.hit_ratio);
@@ -39,7 +42,10 @@ fn main() {
     let ios = report.interval("ios");
     let response = report.interval("response_ms");
     println!("\n{} replications, 95% confidence:", report.replications());
-    println!("  mean I/Os           {:>10.1} ± {:.1}", ios.mean, ios.half_width);
+    println!(
+        "  mean I/Os           {:>10.1} ± {:.1}",
+        ios.mean, ios.half_width
+    );
     println!(
         "  mean response       {:>10.2} ± {:.2} ms",
         response.mean, response.half_width

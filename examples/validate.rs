@@ -54,8 +54,14 @@ fn main() {
     let bench = ConfidenceInterval::from_samples(&bench_samples, 0.95);
     let sim = ConfidenceInterval::from_samples(&sim_samples, 0.95);
     println!("validation: O2-style page server, {cache_mb} MB cache, {reps} replications");
-    println!("  benchmark   {:>10.1} ± {:.1} I/Os", bench.mean, bench.half_width);
-    println!("  simulation  {:>10.1} ± {:.1} I/Os", sim.mean, sim.half_width);
+    println!(
+        "  benchmark   {:>10.1} ± {:.1} I/Os",
+        bench.mean, bench.half_width
+    );
+    println!(
+        "  simulation  {:>10.1} ± {:.1} I/Os",
+        sim.mean, sim.half_width
+    );
     let ratio = bench.mean / sim.mean;
     println!("  bench/sim ratio: {ratio:.4}");
     assert!(

@@ -14,11 +14,7 @@ use oostore::{
 };
 use voodb::{Simulation, VoodbParams};
 
-fn generate(
-    base: &ObjectBase,
-    workload: &WorkloadParams,
-    seed: u64,
-) -> Vec<ocb::Transaction> {
+fn generate(base: &ObjectBase, workload: &WorkloadParams, seed: u64) -> Vec<ocb::Transaction> {
     let mut generator = WorkloadGenerator::new(base, workload.clone(), seed);
     (0..workload.hot_transactions)
         .map(|_| generator.next_transaction())
@@ -121,8 +117,7 @@ fn figure_8_tendency_ios_fall_with_cache_size() {
     let mut bench_series = Vec::new();
     let mut sim_series = Vec::new();
     for cache_mb in [1usize, 2, 8] {
-        let mut engine =
-            PageServerEngine::new(&base, PageServerConfig::with_cache_mb(cache_mb));
+        let mut engine = PageServerEngine::new(&base, PageServerConfig::with_cache_mb(cache_mb));
         bench_series.push(run_workload(&mut engine, &transactions).total_ios());
         let mut simulation = Simulation::new(&base, VoodbParams::o2(cache_mb), 0.0, 8);
         sim_series.push(simulation.run_phase(transactions.clone(), 0).total_ios());
@@ -147,8 +142,7 @@ fn figure_11_tendency_texas_blows_up_under_memory_pressure() {
         run_workload(&mut engine, &transactions).total_ios()
     };
     let run_sim = |memory_mb: usize| {
-        let mut simulation =
-            Simulation::new(&base, VoodbParams::texas(memory_mb), 0.0, 10);
+        let mut simulation = Simulation::new(&base, VoodbParams::texas(memory_mb), 0.0, 10);
         simulation.run_phase(transactions.clone(), 0).total_ios()
     };
     let (bench_tight, bench_ample) = (run_bench(1), run_bench(16));

@@ -3,9 +3,7 @@
 //! replication-based output analysis).
 
 use ocb::{DatabaseParams, ObjectBase, WorkloadGenerator, WorkloadParams};
-use oostore::{
-    run_workload, PageServerConfig, PageServerEngine, TexasConfig, TexasEngine,
-};
+use oostore::{run_workload, PageServerConfig, PageServerEngine, TexasConfig, TexasEngine};
 use voodb::{run_once, ExperimentConfig, Simulation, VoodbParams};
 
 fn db() -> DatabaseParams {
@@ -85,8 +83,7 @@ fn different_seeds_give_different_workloads() {
     // Different bases + workloads: astronomically unlikely to coincide on
     // both metrics.
     assert!(
-        a.total_ios() != b.total_ios()
-            || (a.mean_response_ms - b.mean_response_ms).abs() > 1e-9,
+        a.total_ios() != b.total_ios() || (a.mean_response_ms - b.mean_response_ms).abs() > 1e-9,
         "seeds 1 and 2 produced identical results"
     );
 }

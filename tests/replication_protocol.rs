@@ -39,10 +39,7 @@ fn fixed_replications_produce_all_metrics() {
     ] {
         let ci = report.interval(metric);
         assert!(ci.mean.is_finite(), "{metric} mean not finite");
-        assert!(
-            ci.half_width.is_finite(),
-            "{metric} half-width not finite"
-        );
+        assert!(ci.half_width.is_finite(), "{metric} half-width not finite");
     }
 }
 

@@ -1,0 +1,122 @@
+//! Minimal offline stand-in for the `bytes` crate: a `Vec<u8>`-backed
+//! [`BytesMut`] with the construction and slicing surface the workspace
+//! uses. No refcounted split/freeze machinery — pages here are owned
+//! buffers, never shared views.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, mutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            inner: vec![0; len],
+        }
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Resizes the buffer to `new_len`, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Consumes the buffer, returning the backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> Self {
+        BytesMut { inner }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            inner: slice.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_then_slice_write_round_trips() {
+        let mut b = BytesMut::zeroed(8);
+        assert_eq!(b.len(), 8);
+        b[2..4].copy_from_slice(&[0xAB, 0xCD]);
+        assert_eq!(&b[..], &[0, 0, 0xAB, 0xCD, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello");
+        assert_eq!(&b[..], b"hello");
+        b.truncate(2);
+        assert_eq!(&b[..], b"he");
+    }
+}

@@ -1,0 +1,226 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use,
+//! but replaces criterion's statistical engine with a fixed-iteration
+//! timer: each benchmark runs a short warm-up then a measured batch, and
+//! the mean ns/iteration is printed. Good enough to compare orders of
+//! magnitude and to keep `cargo bench` / `cargo test` wiring identical to
+//! the real crate.
+//!
+//! When an executable built from `criterion_main!` receives `--test`
+//! (as `cargo test` passes to benches), every benchmark runs exactly one
+//! iteration, so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// How many measured iterations to run per benchmark (unless in test mode).
+const MEASURED_ITERS: u64 = 30;
+/// Warm-up iterations before measurement.
+const WARMUP_ITERS: u64 = 3;
+
+/// Re-export position of `std::hint::black_box`, as criterion provides.
+pub use std::hint::black_box;
+
+/// Batch-size hint for [`Bencher::iter_batched`]; ignored by this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    measured_iters: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+            measured_iters: if test_mode { 1 } else { MEASURED_ITERS },
+        }
+    }
+
+    /// Runs `routine` repeatedly, timing the measured batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.measured_iters > 1 {
+            for _ in 0..WARMUP_ITERS {
+                black_box(routine());
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..self.measured_iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = self.measured_iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.measured_iters > 1 {
+            for _ in 0..WARMUP_ITERS {
+                black_box(routine(setup()));
+            }
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.measured_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = self.measured_iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<50} (body never called)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("bench {name:<50} {ns:>14.1} ns/iter");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stand-in has a fixed sample
+    /// count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.criterion.test_mode);
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into();
+        let mut bencher = Bencher::new(self.test_mode);
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench executable's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut b = Bencher::new(true);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        let mut batched = 0u32;
+        b.iter_batched(|| 2u32, |x| batched += x, BatchSize::SmallInput);
+        assert_eq!(batched, 2);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

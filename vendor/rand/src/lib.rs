@@ -1,0 +1,111 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides the 0.9-style trait split the workspace relies on: a fallible
+//! [`TryRng`] core trait, an infallible [`Rng`] extension obtained through a
+//! blanket impl, and [`SeedableRng`] for reproducible construction. The
+//! workspace brings its own generator (`desp::random::Xoshiro256`); this
+//! crate only supplies the trait vocabulary.
+
+use std::convert::Infallible;
+
+/// A fallible source of randomness.
+///
+/// Generators whose `Error` is [`Infallible`] automatically implement
+/// [`Rng`] through a blanket impl.
+pub trait TryRng {
+    /// Error produced when drawing randomness fails.
+    type Error;
+
+    /// Draws the next `u32`.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Draws the next `u64`.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible source of randomness.
+///
+/// Blanket-implemented for every [`TryRng`] whose error is [`Infallible`];
+/// do not implement it directly.
+pub trait Rng {
+    /// Draws the next `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Draws the next `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: TryRng<Error = Infallible>> Rng for R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a single `u64`, expanding it to a full seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_add(1);
+            Ok(self.0)
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_impl_applies() {
+        let mut c = Counter(0);
+        assert_eq!(c.next_u64(), 1);
+        assert_eq!(c.next_u32(), 2);
+        let mut buf = [0u8; 3];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [3, 4, 5]);
+    }
+}
