@@ -15,7 +15,7 @@
 
 use clustering::DstcParams;
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
-use voodb_bench::{dstc_mean, dstc_sim_once, Args};
+use voodb_bench::{dstc_mean, dstc_sim_once, Args, COMMON_KEYS};
 
 fn base_params() -> DstcParams {
     DstcParams {
@@ -31,6 +31,11 @@ fn base_params() -> DstcParams {
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([("objects", "instances in the object base (default 5000)")]);
+        return Args::print_help("dstc_sweep", &keys);
+    }
     let reps = args.get("reps", 5usize);
     let seed = args.get("seed", 42u64);
     let objects = args.get("objects", 5_000usize);

@@ -12,7 +12,8 @@
 
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb_bench::{
-    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args, INSTANCE_SWEEP,
+    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args, COMMON_KEYS,
+    INSTANCE_SWEEP,
 };
 
 fn run_figure(classes: usize, reps: usize, seed: u64) {
@@ -48,6 +49,14 @@ fn run_figure(classes: usize, reps: usize, seed: u64) {
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([(
+            "classes",
+            "run only this class count (20 or 50; default: both figures)",
+        )]);
+        return Args::print_help("fig06_07_o2_base_size", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     if args.has("classes") {

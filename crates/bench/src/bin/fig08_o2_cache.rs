@@ -13,12 +13,17 @@
 
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb_bench::{
-    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args,
+    check_same_tendency, measure_point, o2_bench_ios, o2_sim_ios, print_sweep, Args, COMMON_KEYS,
     MEMORY_SWEEP_MB,
 };
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([("objects", "instances in the object base (default 20000)")]);
+        return Args::print_help("fig08_o2_cache", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     let db = DatabaseParams {

@@ -13,7 +13,7 @@
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb_bench::{
     check_same_tendency, measure_point, print_sweep, texas_bench_ios, texas_sim_ios, Args,
-    INSTANCE_SWEEP,
+    COMMON_KEYS, INSTANCE_SWEEP,
 };
 
 fn run_figure(classes: usize, reps: usize, seed: u64) {
@@ -49,6 +49,14 @@ fn run_figure(classes: usize, reps: usize, seed: u64) {
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([(
+            "classes",
+            "run only this class count (20 or 50; default: both figures)",
+        )]);
+        return Args::print_help("fig09_10_texas_base_size", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     if args.has("classes") {

@@ -15,11 +15,16 @@
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb_bench::{
     check_same_tendency, measure_point, print_sweep, texas_bench_ios, texas_sim_ios, Args,
-    MEMORY_SWEEP_MB,
+    COMMON_KEYS, MEMORY_SWEEP_MB,
 };
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([("objects", "instances in the object base (default 20000)")]);
+        return Args::print_help("fig11_texas_memory", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     let db = DatabaseParams {

@@ -15,10 +15,18 @@ use bufmgr::PolicyKind;
 use desp::ConfidenceInterval;
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb::{run_once, ExperimentConfig, SystemClass, VoodbParams};
-use voodb_bench::{replicate, Args};
+use voodb_bench::{replicate, Args, COMMON_KEYS};
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([
+            ("objects", "instances in the object base (default 5000)"),
+            ("buffer", "buffer size in pages (default 256)"),
+        ]);
+        return Args::print_help("policy_sweep", &keys);
+    }
     let reps = args.get("reps", 5usize);
     let seed = args.get("seed", 42u64);
     let objects = args.get("objects", 5_000usize);

@@ -2,31 +2,54 @@
 //! run (Figures 6–11, Tables 6–8).
 //!
 //! ```text
-//! cargo run --release -p voodb-bench --bin repro_all -- [--reps 10] [--seed 42]
+//! cargo run --release -p voodb-bench --bin repro_all -- \
+//!     [--reps 10] [--seed 42] [--out target/voodb-out]
 //! ```
 //!
 //! With `--reps 100` this is the paper's full 100-replication protocol;
 //! the default of 10 replications reproduces every shape in a few
-//! minutes. Output is the record pasted into `EXPERIMENTS.md`.
+//! minutes. Besides the stdout record pasted into `EXPERIMENTS.md`,
+//! every artifact is persisted as `<out>/<stem>.csv` + `.json` via the
+//! scenario report writers, so CI can upload the whole evaluation.
 
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
+use scenario::DEFAULT_OUT_DIR;
+use std::path::{Path, PathBuf};
 use voodb_bench::{
-    check_same_tendency, dstc_bench_once, dstc_mean, dstc_sim_once, measure_point, o2_bench_ios,
-    o2_sim_ios, print_cluster_table, print_dstc_table, print_sweep, texas_bench_ios, texas_sim_ios,
-    Args, Point, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
+    check_same_tendency, dstc_bench_once, dstc_mean, dstc_report_table, dstc_sim_once,
+    measure_preset_point, print_cluster_table, print_dstc_table, print_sweep, sweep_report_table,
+    Args, Point, Preset, COMMON_KEYS, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
 };
 
-fn report(title: &str, x_label: &str, points: Vec<Point>) {
+/// Prints the sweep, checks its shape, and persists CSV/JSON.
+fn report(out: &Path, stem: &str, title: &str, x_label: &str, points: Vec<Point>) {
     print_sweep(title, x_label, &points);
     if let Err(e) = check_same_tendency(&points, 0.10) {
         eprintln!("WARNING [{title}]: {e}");
+    }
+    persist(sweep_report_table(title, x_label, &points), out, stem);
+}
+
+fn persist(table: scenario::ReportTable, out: &Path, stem: &str) {
+    match table.write(out, stem) {
+        Ok((csv, json)) => println!("wrote {} and {}", csv.display(), json.display()),
+        Err(e) => eprintln!("WARNING: persisting {stem}: {e}"),
     }
 }
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([(
+            "out",
+            "artifact directory for CSV/JSON reports (default target/voodb-out)",
+        )]);
+        return Args::print_help("repro_all", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
+    let out = args.get("out", PathBuf::from(DEFAULT_OUT_DIR));
     let workload = WorkloadParams::default();
 
     // ----- Figures 6 & 7: O2, base-size sweeps -------------------------
@@ -40,17 +63,12 @@ fn main() {
                     objects,
                     ..DatabaseParams::default()
                 };
-                measure_point(
-                    objects as f64,
-                    &db,
-                    reps,
-                    seed,
-                    |base, s| o2_bench_ios(base, &workload, 16, s),
-                    |base, s| o2_sim_ios(base, &workload, 16, s),
-                )
+                measure_preset_point(Preset::O2, objects as f64, &db, &workload, 16, reps, seed)
             })
             .collect();
         report(
+            &out,
+            &format!("fig{figure:02}_o2_base_size_{classes}c"),
             &format!("Figure {figure}: mean I/Os vs instances (O2, {classes} classes)"),
             "instances",
             points,
@@ -62,17 +80,20 @@ fn main() {
     let points = MEMORY_SWEEP_MB
         .iter()
         .map(|&cache_mb| {
-            measure_point(
+            measure_preset_point(
+                Preset::O2,
                 cache_mb as f64,
                 &mid,
+                &workload,
+                cache_mb,
                 reps,
                 seed,
-                |base, s| o2_bench_ios(base, &workload, cache_mb, s),
-                |base, s| o2_sim_ios(base, &workload, cache_mb, s),
             )
         })
         .collect();
     report(
+        &out,
+        "fig08_o2_cache",
         "Figure 8: mean I/Os vs server cache size (O2)",
         "cache(MB)",
         points,
@@ -89,17 +110,20 @@ fn main() {
                     objects,
                     ..DatabaseParams::default()
                 };
-                measure_point(
+                measure_preset_point(
+                    Preset::Texas,
                     objects as f64,
                     &db,
+                    &workload,
+                    64,
                     reps,
                     seed,
-                    |base, s| texas_bench_ios(base, &workload, 64, s),
-                    |base, s| texas_sim_ios(base, &workload, 64, s),
                 )
             })
             .collect();
         report(
+            &out,
+            &format!("fig{figure:02}_texas_base_size_{classes}c"),
             &format!("Figure {figure}: mean I/Os vs instances (Texas, {classes} classes)"),
             "instances",
             points,
@@ -110,17 +134,20 @@ fn main() {
     let points = MEMORY_SWEEP_MB
         .iter()
         .map(|&memory_mb| {
-            measure_point(
+            measure_preset_point(
+                Preset::Texas,
                 memory_mb as f64,
                 &mid,
+                &workload,
+                memory_mb,
                 reps,
                 seed,
-                |base, s| texas_bench_ios(base, &workload, memory_mb, s),
-                |base, s| texas_sim_ios(base, &workload, memory_mb, s),
             )
         })
         .collect();
     report(
+        &out,
+        "fig11_texas_memory",
         "Figure 11: mean I/Os vs available memory (Texas)",
         "memory(MB)",
         points,
@@ -144,13 +171,14 @@ fn main() {
     let sim = dstc_mean(reps, seed + 1, |s| {
         dstc_sim_once(&shared_base, &favorable, 64, dstc.clone(), s)
     });
-    print_dstc_table(
-        "Table 6: effects of DSTC — mid-sized base (64 MB)",
-        &bench,
-        &sim,
-        true,
-    );
+    let tab6_title = "Table 6: effects of DSTC — mid-sized base (64 MB)";
+    print_dstc_table(tab6_title, &bench, &sim, true);
     print_cluster_table("Table 7: DSTC clustering", &bench, &sim);
+    persist(
+        dstc_report_table(tab6_title, &bench, &sim, true),
+        &out,
+        "tab06_07_dstc_mid",
+    );
 
     // The "large" base: memory scaled so the working set no longer fits
     // (3 MB for our ~1170-page working set; the paper's was 8 MB for its
@@ -161,11 +189,12 @@ fn main() {
     let sim8 = dstc_mean(reps, seed + 1, |s| {
         dstc_sim_once(&shared_base, &favorable, 3, dstc.clone(), s)
     });
-    print_dstc_table(
-        "Table 8: effects of DSTC — \"large\" base (3 MB)",
-        &bench8,
-        &sim8,
-        false,
+    let tab8_title = "Table 8: effects of DSTC — \"large\" base (3 MB)";
+    print_dstc_table(tab8_title, &bench8, &sim8, false);
+    persist(
+        dstc_report_table(tab8_title, &bench8, &sim8, false),
+        &out,
+        "tab08_dstc_large",
     );
 
     println!("summary:");

@@ -16,7 +16,7 @@ use clustering::{ClusteringKind, DstcParams};
 use desp::Welford;
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
 use voodb::{Simulation, VoodbParams};
-use voodb_bench::{generate_workload, replicate_map, Args};
+use voodb_bench::{generate_workload, replicate_map, Args, COMMON_KEYS};
 
 /// One strategy's outcome in one memory regime.
 #[derive(Clone, Copy, Debug, Default)]
@@ -75,6 +75,14 @@ fn run_strategy(
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([
+            ("objects", "instances in the object base (default 5000)"),
+            ("tight", "tight-memory buffer frames (default 96)"),
+        ]);
+        return Args::print_help("strategy_compare", &keys);
+    }
     let reps = args.get("reps", 5usize);
     let seed = args.get("seed", 42u64);
     let objects = args.get("objects", 5_000usize);

@@ -21,6 +21,7 @@ use clustering::DstcParams;
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
 use voodb_bench::{
     dstc_bench_once, dstc_mean, dstc_sim_once, print_cluster_table, print_dstc_table, Args,
+    COMMON_KEYS,
 };
 
 /// The DSTC tuning used for the study (documented in EXPERIMENTS.md).
@@ -38,6 +39,11 @@ pub fn study_dstc_params() -> DstcParams {
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([("memory", "Texas host memory in MB (default 64)")]);
+        return Args::print_help("tab06_07_dstc_mid", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     let memory_mb = args.get("memory", 64usize);

@@ -17,10 +17,15 @@
 //! ```
 
 use ocb::{DatabaseParams, ObjectBase, WorkloadParams};
-use voodb_bench::{dstc_bench_once, dstc_mean, dstc_sim_once, print_dstc_table, Args};
+use voodb_bench::{dstc_bench_once, dstc_mean, dstc_sim_once, print_dstc_table, Args, COMMON_KEYS};
 
 fn main() {
     let args = Args::from_env();
+    if args.help_requested() {
+        let mut keys = COMMON_KEYS.to_vec();
+        keys.extend([("memory", "Texas host memory in MB (default 3)")]);
+        return Args::print_help("tab08_dstc_large", &keys);
+    }
     let reps = args.get("reps", 10usize);
     let seed = args.get("seed", 42u64);
     let memory_mb = args.get("memory", 3usize);

@@ -112,43 +112,117 @@ pub fn generate_workload(
     (transactions, cold_count)
 }
 
+/// The validated system a measurement instantiates (Table 4 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// The O2-like page server; the knob is the server cache in MB.
+    O2,
+    /// The Texas-like centralized store (swizzling on load); the knob is
+    /// host memory in MB.
+    Texas,
+}
+
+impl Preset {
+    /// The real mini-engine of this preset, sized by `mb` (the
+    /// Benchmark column's system).
+    pub fn engine(self, base: &ObjectBase, mb: usize) -> Box<dyn StorageEngine + '_> {
+        match self {
+            Preset::O2 => Box::new(PageServerEngine::new(
+                base,
+                PageServerConfig::with_cache_mb(mb),
+            )),
+            Preset::Texas => Box::new(TexasEngine::new(base, TexasConfig::with_memory_mb(mb))),
+        }
+    }
+
+    /// The VOODB parameterisation of this preset, sized by `mb` (the
+    /// Simulation column's system).
+    pub fn params(self, mb: usize) -> VoodbParams {
+        match self {
+            Preset::O2 => VoodbParams::o2(mb),
+            Preset::Texas => VoodbParams::texas(mb),
+        }
+    }
+}
+
+/// Which column of the paper's comparison a run measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The real mini-engine (`oostore`), counting virtual-disk I/Os.
+    Bench,
+    /// The VOODB model (`voodb`), counting simulated I/Os.
+    Sim,
+}
+
+/// One replication of either column of either preset: generate the
+/// stream, run the cold transactions, measure the warm run, return its
+/// total I/Os. The single runner behind the four `*_ios` helpers.
+pub fn preset_ios(
+    preset: Preset,
+    side: Side,
+    base: &ObjectBase,
+    wl: &WorkloadParams,
+    mb: usize,
+    seed: u64,
+) -> f64 {
+    let (transactions, cold_count) = generate_workload(base, wl, seed);
+    match side {
+        Side::Bench => {
+            let mut engine = preset.engine(base, mb);
+            run_workload(engine.as_mut(), &transactions[..cold_count]);
+            engine.reset_counters();
+            let report = run_workload(engine.as_mut(), &transactions[cold_count..]);
+            report.total_ios() as f64
+        }
+        Side::Sim => {
+            let mut simulation = Simulation::new(base, preset.params(mb), wl.think_time_ms, seed);
+            let result = simulation.run_phase(transactions, cold_count);
+            result.total_ios() as f64
+        }
+    }
+}
+
 /// One replication of the O2 *benchmark* column: total I/Os of the warm
 /// run on the page-server engine.
 pub fn o2_bench_ios(base: &ObjectBase, wl: &WorkloadParams, cache_mb: usize, seed: u64) -> f64 {
-    let (transactions, cold_count) = generate_workload(base, wl, seed);
-    let mut engine = PageServerEngine::new(base, PageServerConfig::with_cache_mb(cache_mb));
-    run_workload(&mut engine, &transactions[..cold_count]);
-    engine.reset_counters();
-    let report = run_workload(&mut engine, &transactions[cold_count..]);
-    report.total_ios() as f64
+    preset_ios(Preset::O2, Side::Bench, base, wl, cache_mb, seed)
 }
 
 /// One replication of the O2 *simulation* column (VOODB, Table 4 preset).
 pub fn o2_sim_ios(base: &ObjectBase, wl: &WorkloadParams, cache_mb: usize, seed: u64) -> f64 {
-    let (transactions, cold_count) = generate_workload(base, wl, seed);
-    let mut simulation = Simulation::new(base, VoodbParams::o2(cache_mb), wl.think_time_ms, seed);
-    let result = simulation.run_phase(transactions, cold_count);
-    result.total_ios() as f64
+    preset_ios(Preset::O2, Side::Sim, base, wl, cache_mb, seed)
 }
 
 /// One replication of the Texas *benchmark* column.
 pub fn texas_bench_ios(base: &ObjectBase, wl: &WorkloadParams, memory_mb: usize, seed: u64) -> f64 {
-    let (transactions, cold_count) = generate_workload(base, wl, seed);
-    let mut engine = TexasEngine::new(base, TexasConfig::with_memory_mb(memory_mb));
-    run_workload(&mut engine, &transactions[..cold_count]);
-    engine.reset_counters();
-    let report = run_workload(&mut engine, &transactions[cold_count..]);
-    report.total_ios() as f64
+    preset_ios(Preset::Texas, Side::Bench, base, wl, memory_mb, seed)
 }
 
 /// One replication of the Texas *simulation* column (VOODB, Table 4
 /// preset, VM-reservation module on).
 pub fn texas_sim_ios(base: &ObjectBase, wl: &WorkloadParams, memory_mb: usize, seed: u64) -> f64 {
-    let (transactions, cold_count) = generate_workload(base, wl, seed);
-    let mut simulation =
-        Simulation::new(base, VoodbParams::texas(memory_mb), wl.think_time_ms, seed);
-    let result = simulation.run_phase(transactions, cold_count);
-    result.total_ios() as f64
+    preset_ios(Preset::Texas, Side::Sim, base, wl, memory_mb, seed)
+}
+
+/// Measures one bench-vs-sim sweep point of `preset` at knob value `mb`
+/// (the shape every figure binary sweeps).
+pub fn measure_preset_point(
+    preset: Preset,
+    x: f64,
+    db: &DatabaseParams,
+    wl: &WorkloadParams,
+    mb: usize,
+    reps: usize,
+    base_seed: u64,
+) -> Point {
+    measure_point(
+        x,
+        db,
+        reps,
+        base_seed,
+        |base, seed| preset_ios(preset, Side::Bench, base, wl, mb, seed),
+        |base, seed| preset_ios(preset, Side::Sim, base, wl, mb, seed),
+    )
 }
 
 /// A bench-vs-sim point of a sweep.
@@ -338,6 +412,23 @@ mod tests {
     fn replicate_is_deterministic_and_ordered() {
         let samples = replicate(8, 100, |seed| seed as f64);
         assert_eq!(samples, (100..108).map(|s| s as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generic_runner_matches_wrappers() {
+        let base = tiny_base();
+        let wl = tiny_wl();
+        assert_eq!(
+            preset_ios(Preset::O2, Side::Bench, &base, &wl, 2, 5),
+            o2_bench_ios(&base, &wl, 2, 5)
+        );
+        assert_eq!(
+            preset_ios(Preset::Texas, Side::Sim, &base, &wl, 2, 5),
+            texas_sim_ios(&base, &wl, 2, 5)
+        );
+        let point = measure_preset_point(Preset::O2, 500.0, &DatabaseParams::small(), &wl, 1, 3, 9);
+        assert_eq!(point.bench.n, 3);
+        assert!(point.bench.mean > 0.0 && point.sim.mean > 0.0);
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! Every binary prints the same layout the paper uses: an x column, the
 //! Benchmark series, the Simulation series (both ± their 95% half-widths),
 //! and the bench/sim ratio. The output doubles as the machine-readable
-//! record pasted into `EXPERIMENTS.md`.
+//! record pasted into `EXPERIMENTS.md`. The `*_report_table` converters
+//! turn the same data into [`scenario::ReportTable`]s so `repro_all` can
+//! persist CSV/JSON artifacts under `target/voodb-out/` for CI to
+//! upload.
 
 use crate::harness::{DstcSide, Point};
+use scenario::{Cell, ReportTable};
 
 /// Prints a figure-style sweep table.
 pub fn print_sweep(title: &str, x_label: &str, points: &[Point]) {
@@ -26,6 +30,68 @@ pub fn print_sweep(title: &str, x_label: &str, points: &[Point]) {
         );
     }
     println!();
+}
+
+/// Converts a figure-style sweep into a persistable table (same columns
+/// as [`print_sweep`] plus the replication count).
+pub fn sweep_report_table(title: &str, x_label: &str, points: &[Point]) -> ReportTable {
+    let mut table = ReportTable::new(
+        title,
+        &[
+            x_label,
+            "bench_ios_mean",
+            "bench_ios_ci95",
+            "sim_ios_mean",
+            "sim_ios_ci95",
+            "ratio",
+            "reps",
+        ],
+    );
+    for p in points {
+        table.push_row(vec![
+            Cell::Num(p.x),
+            Cell::Num(p.bench.mean),
+            Cell::Num(p.bench.half_width),
+            Cell::Num(p.sim.mean),
+            Cell::Num(p.sim.half_width),
+            Cell::Num(p.ratio()),
+            Cell::Int(p.bench.n as i64),
+        ]);
+    }
+    table
+}
+
+/// Converts a Table 6/7/8-style DSTC comparison into a persistable
+/// table: one row per measure, Bench/Sim/Ratio columns.
+pub fn dstc_report_table(
+    title: &str,
+    bench: &DstcSide,
+    sim: &DstcSide,
+    with_overhead: bool,
+) -> ReportTable {
+    let mut table = ReportTable::new(title, &["measure", "bench", "sim", "ratio"]);
+    let ratio = |b: f64, s: f64| if s == 0.0 { f64::INFINITY } else { b / s };
+    let mut push = |name: &str, b: f64, s: f64| {
+        table.push_row(vec![
+            Cell::Text(name.to_owned()),
+            Cell::Num(b),
+            Cell::Num(s),
+            Cell::Num(ratio(b, s)),
+        ]);
+    };
+    push("pre_clustering_ios", bench.pre, sim.pre);
+    if with_overhead {
+        push("clustering_overhead_ios", bench.overhead, sim.overhead);
+    }
+    push("post_clustering_ios", bench.post, sim.post);
+    push("gain", bench.gain(), sim.gain());
+    push("clusters", bench.clusters, sim.clusters);
+    push(
+        "objects_per_cluster",
+        bench.objects_per_cluster,
+        sim.objects_per_cluster,
+    );
+    table
 }
 
 /// Checks the tendency the paper's figures show: both series must be

@@ -1,0 +1,299 @@
+//! The unified `voodb` CLI: run, list, and validate declarative scenario
+//! files.
+//!
+//! ```text
+//! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+//! voodb validate <file.toml>...
+//! voodb list [--dir scenarios]
+//! voodb params
+//! voodb help
+//! ```
+//!
+//! `run` executes the sweep in parallel (deterministic at any thread
+//! count), prints a per-point summary, and writes
+//! `<out>/<scenario>.csv` + `<out>/<scenario>.json`
+//! (default `target/voodb-out/`). `validate` parses and validates each
+//! file, reporting precise line/column positions for syntax errors.
+//! `params` lists every supported parameter key (all of them sweepable).
+
+use scenario::{run_sweep, write_sweep_reports, RunOptions, Scenario, DEFAULT_OUT_DIR, PARAM_HELP};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+voodb — declarative VOODB experiments
+
+USAGE:
+    voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+    voodb validate <file.toml>...
+    voodb list [--dir scenarios]
+    voodb params
+    voodb help
+
+COMMANDS:
+    run        Run a scenario: expand its sweep grid, simulate
+               (points x replications) jobs across threads, print the
+               per-point summary, and write CSV + JSON reports.
+    validate   Parse and validate scenario files (syntax errors carry
+               line and column). Exits non-zero on the first failure.
+    list       List the scenario library with name, description, axes.
+    params     List every supported [system]/[database]/[workload] key;
+               each is also a valid sweep axis.
+
+OPTIONS (run):
+    --threads N   Worker threads (default: one per core). Results are
+                  identical at any thread count.
+    --reps N      Override [scenario].replications.
+    --seed S      Override [scenario].seed.
+    --out DIR     Report directory (default: target/voodb-out).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    match command {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("params") => {
+            print_params();
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `(name, value)` pairs of parsed `--key value` options.
+type Options<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `args` into positionals and `--key value` options, validating
+/// option names against `known`.
+fn split_args<'a>(
+    args: &'a [String],
+    known: &[&str],
+) -> Result<(Vec<&'a str>, Options<'a>), String> {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !known.contains(&name) {
+                return Err(format!(
+                    "unknown option '--{name}' (known: {})",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("missing value for --{name}"))?;
+            options.push((name, value.as_str()));
+        } else {
+            positionals.push(arg.as_str());
+        }
+    }
+    Ok((positionals, options))
+}
+
+fn parse_opt<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("invalid value '{raw}' for --{name}"))
+}
+
+fn load(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (files, options) = match split_args(args, &["threads", "reps", "seed", "out"]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    let [file] = files[..] else {
+        return fail("'run' takes exactly one scenario file");
+    };
+    let mut run_options = RunOptions::default();
+    let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
+    for (name, raw) in options {
+        let result = match name {
+            "threads" => parse_opt(name, raw).map(|v| run_options.threads = Some(v)),
+            "reps" => parse_opt(name, raw).map(|v| run_options.reps = Some(v)),
+            "seed" => parse_opt(name, raw).map(|v| run_options.seed = Some(v)),
+            "out" => {
+                out_dir = PathBuf::from(raw);
+                Ok(())
+            }
+            _ => unreachable!("validated by split_args"),
+        };
+        if let Err(e) = result {
+            return fail(&e);
+        }
+    }
+    let scenario = match load(file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let grid = scenario.grid().len();
+    let reps = run_options.reps.unwrap_or(scenario.replications);
+    println!(
+        "running '{}': {grid} sweep point{} x {reps} replication{}",
+        scenario.name,
+        if grid == 1 { "" } else { "s" },
+        if reps == 1 { "" } else { "s" },
+    );
+    let result = match run_sweep(&scenario, &run_options) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    print_summary(&result);
+    match write_sweep_reports(&result, &out_dir) {
+        Ok((csv, json)) => {
+            println!("wrote {}", csv.display());
+            println!("wrote {}", json.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Prints the per-point summary table (headline metrics only; the full
+/// metric set goes to the CSV/JSON reports).
+fn print_summary(result: &scenario::SweepResult) {
+    println!(
+        "\n# {} (seed {}, {} replications, 95% CI)",
+        result.scenario, result.seed, result.replications
+    );
+    println!(
+        "{:<42} {:>12} {:>9} {:>12} {:>12}",
+        "point", "ios", "±95%", "response_ms", "hit_ratio"
+    );
+    for point in &result.points {
+        let metric = |name: &str| {
+            point
+                .metrics
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| (m.mean, m.half_width))
+                .unwrap_or((f64::NAN, f64::NAN))
+        };
+        let (ios, ios_hw) = metric("ios");
+        let (response, _) = metric("response_ms");
+        let (hit, _) = metric("hit_ratio");
+        println!(
+            "{:<42} {:>12.1} {:>9.1} {:>12.2} {:>12.3}",
+            point.label, ios, ios_hw, response, hit
+        );
+    }
+    println!();
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let (files, _) = match split_args(args, &[]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    if files.is_empty() {
+        return fail("'validate' needs at least one scenario file");
+    }
+    for file in files {
+        match load(file) {
+            Ok(scenario) => {
+                let grid = scenario.grid().len();
+                println!(
+                    "{file}: OK — '{}', {} ax{}, {grid} point{}, {} replications",
+                    scenario.name,
+                    scenario.sweep.len(),
+                    if scenario.sweep.len() == 1 {
+                        "is"
+                    } else {
+                        "es"
+                    },
+                    if grid == 1 { "" } else { "s" },
+                    scenario.replications,
+                );
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let (positionals, options) = match split_args(args, &["dir"]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    if !positionals.is_empty() {
+        return fail("'list' takes no positional arguments (use --dir)");
+    }
+    let dir = options
+        .iter()
+        .find(|(name, _)| *name == "dir")
+        .map(|(_, v)| Path::new(*v))
+        .unwrap_or(Path::new("scenarios"));
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+            .collect(),
+        Err(e) => return fail(&format!("{}: {e}", dir.display())),
+    };
+    entries.sort();
+    if entries.is_empty() {
+        println!("no .toml scenarios under {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    for path in entries {
+        match load(&path.to_string_lossy()) {
+            Ok(scenario) => {
+                let axes: Vec<&str> = scenario.sweep.iter().map(|a| a.param.as_str()).collect();
+                println!(
+                    "{:<28} {} [{} x{} reps] sweeps: {}",
+                    path.file_name().unwrap_or_default().to_string_lossy(),
+                    scenario.description,
+                    scenario.grid().len(),
+                    scenario.replications,
+                    if axes.is_empty() {
+                        "none".to_owned()
+                    } else {
+                        axes.join(", ")
+                    },
+                );
+            }
+            Err(e) => println!(
+                "{:<28} INVALID: {e}",
+                path.file_name().unwrap_or_default().to_string_lossy()
+            ),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_params() {
+    println!("Supported scenario parameters (every key is also a valid sweep axis):\n");
+    let mut last_section = "";
+    for (key, expected, meaning) in PARAM_HELP {
+        let section = key.split('.').next().unwrap_or("");
+        if section != last_section {
+            println!("[{section}]");
+            last_section = section;
+        }
+        println!("  {key:<36} {expected:<10} {meaning}");
+    }
+}

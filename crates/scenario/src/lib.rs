@@ -1,0 +1,60 @@
+//! # voodb-scenario — declarative experiments for the VOODB model
+//!
+//! VOODB's whole point is *genericity*: "a set of parameters that help
+//! tuning the model in a variety of configurations" (§3.3 of the paper).
+//! This crate exposes that genericity without writing Rust: an
+//! experiment is a **scenario file** — a small TOML document declaring
+//! the simulated system (Table 3), the OCB object base and workload, a
+//! replication protocol, and one or more swept parameter axes — and the
+//! `voodb` CLI runs it in parallel and persists CSV/JSON reports.
+//!
+//! ```toml
+//! [scenario]
+//! name = "mpl_study"
+//! replications = 10
+//! seed = 42
+//!
+//! [database]
+//! classes = 20
+//! objects = 2000
+//!
+//! [[sweep]]
+//! param = "system.multiprogramming_level"
+//! values = [1, 2, 5, 10]
+//! ```
+//!
+//! ```bash
+//! voodb run scenarios/mpl_study.toml --threads 8
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`toml`] — a hand-rolled parser/serializer for the TOML subset
+//!   scenario files use (the workspace builds fully offline; no external
+//!   TOML crate), with line/column error reporting;
+//! * [`spec`] — [`Scenario`]: the spec type, parameter application
+//!   (every settable key is also a sweep axis), validation, and the
+//!   cartesian sweep grid;
+//! * [`runner`] — the parallel sweep runner: shards the
+//!   (point × replication) grid over std scoped threads with purely
+//!   index-derived seeds, so results are **identical at any thread
+//!   count**;
+//! * [`report`] — deterministic CSV/JSON writers
+//!   (`target/voodb-out/<scenario>.{csv,json}`), also reused by the
+//!   bench harness for its figure artifacts.
+//!
+//! The `scenarios/` directory at the workspace root ships presets
+//! mirroring the paper's experiments plus new workloads (see
+//! `voodb list`).
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+
+pub use report::{sweep_table, write_sweep_reports, Cell, ReportTable, DEFAULT_OUT_DIR};
+pub use runner::{run_sweep, MetricEstimate, PointSummary, RunOptions, SweepResult, CONFIDENCE};
+pub use spec::{apply_param, Scenario, SweepAxis, SweepPoint, PARAM_HELP};
+pub use toml::{parse, serialize, Table, TomlError, Value};

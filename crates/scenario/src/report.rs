@@ -1,0 +1,302 @@
+//! CSV and JSON report writers.
+//!
+//! Sweep results (and any other tabular artifact — the bench harness
+//! reuses these writers for its figure tables) are persisted under
+//! `target/voodb-out/` as `<name>.csv` and `<name>.json`, so CI can
+//! upload them and plotting scripts can consume them without scraping
+//! stdout.
+//!
+//! Both writers are hand-rolled (no serde in the offline workspace) and
+//! deterministic: the same [`ReportTable`] always yields byte-identical
+//! files, which is what the 1-vs-8-thread determinism test asserts.
+
+use crate::runner::SweepResult;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Default output directory, relative to the working directory.
+pub const DEFAULT_OUT_DIR: &str = "target/voodb-out";
+
+/// One cell of a report table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// A text cell.
+    Text(String),
+    /// A numeric cell (non-finite values serialize as `null` in JSON).
+    Num(f64),
+    /// An integer cell.
+    Int(i64),
+}
+
+impl Cell {
+    fn csv(&self) -> String {
+        match self {
+            Cell::Text(s) => csv_escape(s),
+            Cell::Num(f) => format_num(*f),
+            Cell::Int(n) => n.to_string(),
+        }
+    }
+
+    fn json(&self) -> String {
+        match self {
+            Cell::Text(s) => json_string(s),
+            Cell::Num(f) if f.is_finite() => format_num(*f),
+            Cell::Num(_) => "null".to_owned(),
+            Cell::Int(n) => n.to_string(),
+        }
+    }
+}
+
+/// A titled table: the unit both writers consume.
+#[derive(Clone, Debug, Default)]
+pub struct ReportTable {
+    /// Table title (becomes the JSON `title` field and a CSV comment).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl ReportTable {
+    /// Builds an empty table with the given title and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ReportTable {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (leading `# title` comment, header row, data rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(Cell::csv).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a pretty-printed JSON object
+    /// `{"title": …, "columns": […], "rows": [[…], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"columns\": [{}],",
+            self.columns
+                .iter()
+                .map(|c| json_string(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells = row.iter().map(Cell::json).collect::<Vec<_>>().join(", ");
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(out, "    [{cells}]{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `<dir>/<stem>.csv` and `<dir>/<stem>.json`, creating the
+    /// directory as needed. Returns the two paths.
+    ///
+    /// # Errors
+    /// Propagates I/O errors as strings.
+    pub fn write(&self, dir: &Path, stem: &str) -> Result<(PathBuf, PathBuf), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let csv_path = dir.join(format!("{stem}.csv"));
+        let json_path = dir.join(format!("{stem}.json"));
+        std::fs::write(&csv_path, self.to_csv())
+            .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+        std::fs::write(&json_path, self.to_json())
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+        Ok((csv_path, json_path))
+    }
+}
+
+/// Flattens a sweep result into the wide per-point table: one row per
+/// sweep point, the axis coordinates first, then `mean`/`ci95` column
+/// pairs per metric, then the replication count.
+pub fn sweep_table(result: &SweepResult) -> ReportTable {
+    let metric_names: Vec<String> = result
+        .points
+        .first()
+        .map(|p| p.metrics.iter().map(|m| m.name.clone()).collect())
+        .unwrap_or_default();
+    let mut columns: Vec<String> = vec!["point".to_owned()];
+    columns.extend(result.axes.iter().cloned());
+    for name in &metric_names {
+        columns.push(format!("{name}_mean"));
+        columns.push(format!("{name}_ci95"));
+    }
+    columns.push("reps".to_owned());
+    let mut table = ReportTable {
+        title: format!(
+            "{} — {} (seed {}, {} replications, 95% CI)",
+            result.scenario, result.description, result.seed, result.replications
+        ),
+        columns,
+        rows: Vec::new(),
+    };
+    for point in &result.points {
+        let mut row = vec![Cell::Text(point.label.clone())];
+        for axis in &result.axes {
+            let coord = point
+                .coords
+                .iter()
+                .find(|(param, _)| param == axis)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            row.push(Cell::Text(coord));
+        }
+        for name in &metric_names {
+            let m = point
+                .metrics
+                .iter()
+                .find(|m| &m.name == name)
+                .expect("metric present at every point");
+            row.push(Cell::Num(m.mean));
+            row.push(Cell::Num(m.half_width));
+        }
+        row.push(Cell::Int(result.replications as i64));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Writes the sweep's CSV and JSON reports to `dir` (usually
+/// [`DEFAULT_OUT_DIR`]), named after the scenario.
+///
+/// # Errors
+/// Propagates I/O errors as strings.
+pub fn write_sweep_reports(result: &SweepResult, dir: &Path) -> Result<(PathBuf, PathBuf), String> {
+    sweep_table(result).write(dir, &result.scenario)
+}
+
+/// Formats a float compactly but losslessly (shortest round-trip repr;
+/// `inf`/`nan` spelled out — CSV consumers see the same tokens TOML
+/// uses).
+fn format_num(f: f64) -> String {
+    if f.is_nan() {
+        "nan".to_owned()
+    } else if f.is_infinite() {
+        if f > 0.0 { "inf" } else { "-inf" }.to_owned()
+    } else {
+        format!("{f}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> ReportTable {
+        let mut t = ReportTable::new("Demo, table", &["x", "mean", "note"]);
+        t.push_row(vec![
+            Cell::Int(1),
+            Cell::Num(10.5),
+            Cell::Text("plain".into()),
+        ]);
+        t.push_row(vec![
+            Cell::Int(2),
+            Cell::Num(f64::INFINITY),
+            Cell::Text("with, comma and \"quotes\"".into()),
+        ]);
+        t
+    }
+
+    #[test]
+    fn csv_escapes_and_formats() {
+        let csv = demo_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# Demo, table");
+        assert_eq!(lines[1], "x,mean,note");
+        assert_eq!(lines[2], "1,10.5,plain");
+        assert_eq!(lines[3], "2,inf,\"with, comma and \"\"quotes\"\"\"");
+    }
+
+    #[test]
+    fn json_is_wellformed_and_nulls_nonfinite() {
+        let json = demo_table().to_json();
+        assert!(json.contains("\"title\": \"Demo, table\""));
+        assert!(json.contains("[1, 10.5, \"plain\"]"));
+        assert!(json.contains("[2, null, "));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn writes_both_files() {
+        let dir = std::env::temp_dir().join(format!("voodb-report-test-{}", std::process::id()));
+        let (csv, json) = demo_table().write(&dir, "demo").unwrap();
+        assert!(csv.exists() && json.exists());
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert!(content.starts_with("# Demo, table"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = ReportTable::new("t", &["a", "b"]);
+        t.push_row(vec![Cell::Int(1)]);
+    }
+}

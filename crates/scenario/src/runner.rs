@@ -1,0 +1,341 @@
+//! The parallel sweep runner.
+//!
+//! A scenario expands into a grid of sweep points (cartesian product of
+//! its axes); each point runs `replications` independent replications.
+//! The runner shards the **(point × replication)** job grid across std
+//! scoped threads via a work-stealing counter, so a 4-point × 25-rep
+//! sweep keeps every core busy even when points cost wildly different
+//! amounts.
+//!
+//! ## Determinism
+//!
+//! Results are **identical at any thread count** because no random state
+//! crosses jobs:
+//!
+//! * the seed of point `p`, replication `r` is derived purely from the
+//!   scenario seed and the indices (SplitMix64 mixing — see
+//!   [`point_seed`] / [`replication_seed`]);
+//! * the object base of a point is generated once from the point seed
+//!   (the paper's §4 methodology: replications vary only the transaction
+//!   stream), lazily via a per-point `OnceLock` so whichever thread gets
+//!   there first builds the identical base;
+//! * every job writes into its own pre-allocated slot, and aggregation
+//!   walks the slots in index order.
+//!
+//! The determinism test in `tests/golden.rs` asserts byte-identical CSV
+//! output for `threads = 1` vs `threads = 8`.
+
+use crate::spec::{Scenario, SweepPoint};
+use desp::ConfidenceInterval;
+use ocb::{ObjectBase, WorkloadGenerator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use voodb::{PhaseResult, Simulation};
+
+/// Salt decorrelating workload seeds from database seeds (the same
+/// constant the bench harness uses, so scenario runs are comparable).
+pub const WORKLOAD_SEED_SALT: u64 = 0x0C0B_57A7_15EC_5EED;
+
+/// Confidence level of the reported intervals (the paper's c = 0.95).
+pub const CONFIDENCE: f64 = 0.95;
+
+/// Runtime overrides from the CLI.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Worker threads; `None` = one per available core.
+    pub threads: Option<usize>,
+    /// Override the scenario's replication count.
+    pub reps: Option<usize>,
+    /// Override the scenario's base seed.
+    pub seed: Option<u64>,
+}
+
+/// One metric's replication estimate at one sweep point.
+#[derive(Clone, Debug)]
+pub struct MetricEstimate {
+    /// Metric name (see [`voodb::PhaseResult::to_metrics`]).
+    pub name: String,
+    /// Sample mean over replications.
+    pub mean: f64,
+    /// 95% Student-t half-width (infinite when n < 2).
+    pub half_width: f64,
+    /// Replications the estimate is based on.
+    pub n: usize,
+}
+
+/// All estimates of one sweep point.
+#[derive(Clone, Debug)]
+pub struct PointSummary {
+    /// `(param, value-as-plain-string)` coordinates in axis order.
+    pub coords: Vec<(String, String)>,
+    /// Compact human label.
+    pub label: String,
+    /// Per-metric estimates, in a fixed metric order.
+    pub metrics: Vec<MetricEstimate>,
+}
+
+/// The outcome of a full sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Scenario name (report files are named after it).
+    pub scenario: String,
+    /// Scenario description.
+    pub description: String,
+    /// Replications actually run per point.
+    pub replications: usize,
+    /// Base seed actually used.
+    pub seed: u64,
+    /// Axis parameter names, in axis order.
+    pub axes: Vec<String>,
+    /// One summary per grid point, in grid order.
+    pub points: Vec<PointSummary>,
+}
+
+/// SplitMix64 — the standard 64-bit mixer; enough to decorrelate
+/// index-derived seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of sweep point `point_index` (also seeds its object base).
+pub fn point_seed(base_seed: u64, point_index: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(0x5CE2_A810_0000_0000 ^ point_index as u64))
+}
+
+/// Seed of replication `rep` within a point.
+pub fn replication_seed(point_seed: u64, rep: usize) -> u64 {
+    splitmix64(point_seed ^ splitmix64(0x7E11_CA7E_0000_0000 ^ rep as u64))
+}
+
+/// Runs one replication of a point over a shared object base: generate
+/// the transaction stream from the replication seed, execute the cold
+/// then the measured run through the VOODB model.
+pub fn run_replication(base: &ObjectBase, point: &SweepPoint, seed: u64) -> PhaseResult {
+    let workload = &point.config.workload;
+    let mut generator = WorkloadGenerator::new(base, workload.clone(), seed ^ WORKLOAD_SEED_SALT);
+    let (cold, hot) = generator.generate_run();
+    let cold_count = cold.len();
+    let mut transactions = cold;
+    transactions.extend(hot);
+    let mut simulation = Simulation::new(
+        base,
+        point.config.system.clone(),
+        workload.think_time_ms,
+        seed,
+    );
+    simulation.run_phase(transactions, cold_count)
+}
+
+/// Runs the whole sweep. See the module docs for the determinism
+/// contract.
+///
+/// # Errors
+/// Returns the first validation error; the run itself cannot fail.
+pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResult, String> {
+    let mut scenario = scenario.clone();
+    if let Some(reps) = options.reps {
+        scenario.replications = reps;
+    }
+    if let Some(seed) = options.seed {
+        scenario.seed = seed;
+    }
+    scenario.validate()?;
+    let reps = scenario.replications;
+    let base_seed = scenario.seed;
+    let grid = scenario.grid();
+    let jobs = grid.len() * reps;
+    let threads = options
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
+        .min(jobs.max(1));
+
+    // Per-point lazily generated object bases and per-job result slots.
+    let bases: Vec<OnceLock<ObjectBase>> = (0..grid.len()).map(|_| OnceLock::new()).collect();
+    let slots: Vec<Mutex<Option<PhaseResult>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs {
+                    break;
+                }
+                let (p, r) = (job / reps, job % reps);
+                let point = &grid[p];
+                let p_seed = point_seed(base_seed, p);
+                let base =
+                    bases[p].get_or_init(|| ObjectBase::generate(&point.config.database, p_seed));
+                let result = run_replication(base, point, replication_seed(p_seed, r));
+                *slots[job].lock().expect("job slot poisoned") = Some(result);
+            });
+        }
+    });
+    let results: Vec<PhaseResult> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("job slot poisoned")
+                .expect("every job ran")
+        })
+        .collect();
+
+    // Aggregate replications into per-metric estimates, in index order.
+    let points = grid
+        .iter()
+        .enumerate()
+        .map(|(p, point)| {
+            let metric_sets: Vec<_> = (0..reps)
+                .map(|r| results[p * reps + r].to_metrics())
+                .collect();
+            let names: Vec<String> = metric_sets[0].iter().map(|(n, _)| n.to_owned()).collect();
+            let metrics = names
+                .iter()
+                .map(|name| {
+                    let samples: Vec<f64> = metric_sets
+                        .iter()
+                        .map(|m| m.get(name).expect("metric present in every replication"))
+                        .collect();
+                    let ci = ConfidenceInterval::from_samples(&samples, CONFIDENCE);
+                    MetricEstimate {
+                        name: name.clone(),
+                        mean: ci.mean,
+                        half_width: ci.half_width,
+                        n: ci.n,
+                    }
+                })
+                .collect();
+            PointSummary {
+                coords: point
+                    .coords
+                    .iter()
+                    .map(|(param, value)| {
+                        (param.clone(), crate::spec::value_to_plain_string(value))
+                    })
+                    .collect(),
+                label: point.label(),
+                metrics,
+            }
+        })
+        .collect();
+    Ok(SweepResult {
+        scenario: scenario.name.clone(),
+        description: scenario.description.clone(),
+        replications: reps,
+        seed: base_seed,
+        axes: scenario.sweep.iter().map(|a| a.param.clone()).collect(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+[scenario]
+name = "tiny"
+replications = 3
+seed = 11
+
+[database]
+classes = 8
+objects = 300
+
+[workload]
+hot_transactions = 20
+
+[[sweep]]
+param = "system.buffer_pages"
+values = [32, 256]
+"#;
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let scenario = Scenario::parse(TINY).unwrap();
+        let result = run_sweep(&scenario, &RunOptions::default()).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.replications, 3);
+        for point in &result.points {
+            let ios = point.metrics.iter().find(|m| m.name == "ios").unwrap();
+            assert!(ios.mean > 0.0);
+            assert_eq!(ios.n, 3);
+        }
+        // A bigger buffer cannot cost more I/Os on the same stream.
+        let ios = |i: usize| {
+            result.points[i]
+                .metrics
+                .iter()
+                .find(|m| m.name == "ios")
+                .unwrap()
+                .mean
+        };
+        assert!(
+            ios(1) <= ios(0),
+            "256 pages {} vs 32 pages {}",
+            ios(1),
+            ios(0)
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenario = Scenario::parse(TINY).unwrap();
+        let one = run_sweep(
+            &scenario,
+            &RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let eight = run_sweep(
+            &scenario,
+            &RunOptions {
+                threads: Some(8),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in one.points.iter().zip(&eight.points) {
+            for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(ma.name, mb.name);
+                assert_eq!(ma.mean.to_bits(), mb.mean.to_bits());
+                assert_eq!(ma.half_width.to_bits(), mb.half_width.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_take_effect() {
+        let scenario = Scenario::parse(TINY).unwrap();
+        let result = run_sweep(
+            &scenario,
+            &RunOptions {
+                reps: Some(2),
+                seed: Some(99),
+                threads: Some(2),
+            },
+        )
+        .unwrap();
+        assert_eq!(result.replications, 2);
+        assert_eq!(result.seed, 99);
+        assert_eq!(result.points[0].metrics[0].n, 2);
+    }
+
+    #[test]
+    fn seeds_are_decorrelated() {
+        let p0 = point_seed(42, 0);
+        let p1 = point_seed(42, 1);
+        assert_ne!(p0, p1);
+        assert_ne!(replication_seed(p0, 0), replication_seed(p0, 1));
+        assert_ne!(replication_seed(p0, 0), replication_seed(p1, 0));
+    }
+}

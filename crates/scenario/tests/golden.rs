@@ -1,0 +1,141 @@
+//! Golden tests over the shipped `scenarios/` library, plus the
+//! thread-count determinism guarantee.
+//!
+//! Every preset must (a) parse and validate as committed, and (b) run
+//! end-to-end. Full-size presets would take minutes in debug builds, so
+//! the run check uses [`Scenario::shrink_for_smoke`] — same axes, same
+//! machinery, smaller base/run — while validation covers the files
+//! exactly as shipped.
+
+use scenario::{run_sweep, sweep_table, RunOptions, Scenario};
+use std::path::PathBuf;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn all_scenarios() -> Vec<(String, Scenario)> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("scenario readable");
+            let scenario =
+                Scenario::parse(&text).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            (name, scenario)
+        })
+        .collect()
+}
+
+#[test]
+fn library_is_present_and_valid() {
+    let scenarios = all_scenarios();
+    assert!(
+        scenarios.len() >= 7,
+        "expected at least 7 presets, found {}",
+        scenarios.len()
+    );
+    let names: Vec<&str> = scenarios.iter().map(|(_, s)| s.name.as_str()).collect();
+    for expected in [
+        "o2_base_size",
+        "o2_cache",
+        "texas_base_size",
+        "texas_memory",
+        "dstc_mid",
+        "multiserver_mpl",
+        "smoke",
+    ] {
+        assert!(names.contains(&expected), "missing preset '{expected}'");
+    }
+    for (file, scenario) in &scenarios {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{file} failed validation: {e}"));
+        assert!(
+            !scenario.description.is_empty(),
+            "{file}: description required for `voodb list`"
+        );
+        // File stem matches the scenario name, so report files are
+        // predictable.
+        assert_eq!(
+            file.trim_end_matches(".toml"),
+            scenario.name,
+            "{file}: name mismatch"
+        );
+    }
+}
+
+#[test]
+fn every_preset_runs_one_replication_deterministically() {
+    for (file, scenario) in all_scenarios() {
+        let mut shrunk = scenario;
+        shrunk.shrink_for_smoke(400, 20, 2);
+        shrunk
+            .validate()
+            .unwrap_or_else(|e| panic!("{file} invalid after shrink: {e}"));
+        let options = RunOptions {
+            reps: Some(1),
+            ..RunOptions::default()
+        };
+        let a = run_sweep(&shrunk, &options).unwrap_or_else(|e| panic!("{file} run failed: {e}"));
+        assert_eq!(a.points.len(), shrunk.grid().len(), "{file}: grid size");
+        for point in &a.points {
+            let ios = point
+                .metrics
+                .iter()
+                .find(|m| m.name == "ios")
+                .unwrap_or_else(|| panic!("{file}: ios metric missing"));
+            assert!(
+                ios.mean > 0.0,
+                "{file} point '{}': no I/O measured",
+                point.label
+            );
+            assert_eq!(ios.n, 1, "{file}: one replication requested");
+        }
+        // Deterministic: the same run again yields byte-identical CSV.
+        let b = run_sweep(&shrunk, &options).unwrap();
+        assert_eq!(
+            sweep_table(&a).to_csv(),
+            sweep_table(&b).to_csv(),
+            "{file}: re-run differs"
+        );
+    }
+}
+
+#[test]
+fn sweep_is_thread_count_invariant() {
+    // The acceptance guarantee: identical output at --threads 1 vs
+    // --threads 8 with the same seed. Run on the shrunken
+    // multiserver_mpl preset (the new 2-axis workload) and smoke.
+    for name in ["multiserver_mpl.toml", "smoke.toml"] {
+        let path = scenarios_dir().join(name);
+        let text = std::fs::read_to_string(&path).expect("scenario readable");
+        let mut scenario = Scenario::parse(&text).unwrap();
+        scenario.shrink_for_smoke(400, 15, 2);
+        let run = |threads: usize| {
+            let result = run_sweep(
+                &scenario,
+                &RunOptions {
+                    threads: Some(threads),
+                    reps: Some(2),
+                    seed: Some(7),
+                },
+            )
+            .unwrap();
+            (
+                sweep_table(&result).to_csv(),
+                sweep_table(&result).to_json(),
+            )
+        };
+        let (csv1, json1) = run(1);
+        let (csv8, json8) = run(8);
+        assert_eq!(csv1, csv8, "{name}: CSV differs between 1 and 8 threads");
+        assert_eq!(json1, json8, "{name}: JSON differs between 1 and 8 threads");
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests of the scenario subsystem: TOML round-trips at
+//! the value level, scenario round-trips at the spec level, and grid
+//! arithmetic.
+
+use proptest::prelude::*;
+use scenario::{parse, serialize, Scenario, Table, Value};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+const KEY_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+const TEXT_CHARS: &[char] = &[
+    'a', 'z', 'Z', '0', ' ', '_', '-', '.', ',', '#', '[', ']', '=', '"', '\\', '\n', '\t', 'é',
+    '☃',
+];
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..KEY_CHARS.len(), 1..10)
+        .prop_map(|ixs| ixs.into_iter().map(|i| KEY_CHARS[i] as char).collect())
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..TEXT_CHARS.len(), 0..12)
+        .prop_map(|ixs| ixs.into_iter().map(|i| TEXT_CHARS[i]).collect())
+}
+
+/// Finite floats built from small parts so every draw is exactly
+/// representable after Display round-trip (which Rust guarantees for any
+/// finite f64 anyway), plus the infinities the scenario format needs.
+fn arb_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000, 1u32..4).prop_map(|(m, e)| m as f64 / 10f64.powi(e as i32)),
+        any::<i32>().prop_map(|m| m as f64 * 0.5),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Integer),
+        arb_float().prop_map(Value::Float),
+        prop::bool::ANY.prop_map(Value::Bool),
+        arb_text().prop_map(Value::String),
+    ]
+}
+
+/// A value tree of bounded depth. Depth 0 = scalars; deeper levels add
+/// arrays and sub-tables.
+fn arb_value(depth: usize) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return arb_scalar().boxed();
+    }
+    prop_oneof![
+        arb_scalar(),
+        prop::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::Array),
+        arb_table(depth - 1).prop_map(Value::Table),
+    ]
+    .boxed()
+}
+
+fn arb_table(depth: usize) -> BoxedStrategy<Table> {
+    prop::collection::vec((arb_key(), arb_value(depth)), 0..5)
+        .prop_map(|pairs| pairs.into_iter().collect::<Table>())
+        .boxed()
+}
+
+/// Serializable tables must not contain `[v, {table}]`-style arrays that
+/// mix tables and non-tables (the subset has no inline-table syntax to
+/// express them), nor empty tables inside arrays-of-tables... which the
+/// serializer *can* express. Only mixed arrays are unrepresentable, so
+/// filter them out.
+fn has_mixed_array(value: &Value) -> bool {
+    match value {
+        Value::Array(items) => {
+            let tables = items
+                .iter()
+                .filter(|v| matches!(v, Value::Table(_)))
+                .count();
+            (tables > 0 && tables < items.len()) || items.iter().any(has_mixed_array)
+        }
+        Value::Table(t) => t.values().any(has_mixed_array),
+        _ => false,
+    }
+}
+
+/// Arrays nested *inside* an array-of-tables position are fine, but an
+/// array whose elements are themselves arrays containing tables cannot
+/// be written either (no inline tables). Reject any table nested under
+/// an array that is not purely an array-of-tables chain.
+fn has_table_under_plain_array(value: &Value, inside_plain_array: bool) -> bool {
+    match value {
+        Value::Table(t) => {
+            inside_plain_array || t.values().any(|v| has_table_under_plain_array(v, false))
+        }
+        Value::Array(items) => {
+            let all_tables =
+                !items.is_empty() && items.iter().all(|v| matches!(v, Value::Table(_)));
+            if all_tables && !inside_plain_array {
+                // Array-of-tables position: recurse into the tables.
+                items.iter().any(|v| has_table_under_plain_array(v, false))
+            } else {
+                items.iter().any(|v| has_table_under_plain_array(v, true))
+            }
+        }
+        _ => false,
+    }
+}
+
+fn serializable(root: &Table) -> bool {
+    !root.values().any(has_mixed_array)
+        && !root.values().any(|v| has_table_under_plain_array(v, false))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize → parse is the identity on representable value trees.
+    #[test]
+    fn toml_value_round_trip(root in arb_table(3).prop_filter("representable", serializable)) {
+        let text = serialize(&root);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- document ---\n{text}"));
+        prop_assert_eq!(&reparsed, &root, "document:\n{}", text);
+        // And the serializer is canonical: serialize(parse(s)) == s.
+        prop_assert_eq!(serialize(&reparsed), text);
+    }
+
+    /// Scalar values survive a round-trip inside a minimal document.
+    #[test]
+    fn toml_scalar_round_trip(value in arb_scalar()) {
+        let mut root = Table::new();
+        root.insert("x".to_owned(), value);
+        let text = serialize(&root);
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(reparsed, root, "document:\n{}", text);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level round-trips
+// ---------------------------------------------------------------------------
+
+/// A scenario assembled from randomly chosen (but always-valid) knobs:
+/// exercises every enum serializer (system class, policies, clustering,
+/// selections) against the parser.
+fn arb_scenario_text() -> impl Strategy<Value = String> {
+    let system_class = prop_oneof![
+        Just("centralized".to_owned()),
+        Just("object-server".to_owned()),
+        Just("page-server".to_owned()),
+        Just("db-server".to_owned()),
+        (1usize..8).prop_map(|n| format!("hybrid-{n}")),
+    ];
+    let policy = prop_oneof![
+        Just("fifo".to_owned()),
+        Just("lru".to_owned()),
+        Just("lfu".to_owned()),
+        Just("clock".to_owned()),
+        (2usize..5).prop_map(|k| format!("lru-{k}")),
+        (1u8..8).prop_map(|w| format!("gclock-{w}")),
+        any::<u64>().prop_map(|s| format!("random-{s}")),
+    ];
+    let clustering = prop_oneof![
+        Just("none".to_owned()),
+        Just("dstc".to_owned()),
+        (2usize..64).prop_map(|n| format!("static-graph-{n}")),
+    ];
+    let root_dist = prop_oneof![
+        Just("uniform".to_owned()),
+        (1u32..30).prop_map(|t| format!("zipf-{}", t as f64 / 10.0)),
+        ((1u32..99), (1u32..99)).prop_map(|(f, p)| format!(
+            "hotset-{}-{}",
+            f as f64 / 100.0,
+            p as f64 / 100.0
+        )),
+    ];
+    (
+        system_class,
+        policy,
+        clustering,
+        root_dist,
+        (1usize..200, 8usize..4096, 1usize..20),
+        (1usize..50, any::<u32>().prop_map(|s| s as u64)),
+    )
+        .prop_map(
+            |(class, policy, clustering, root_dist, (objs, pages, mpl), (reps, seed))| {
+                let objects = objs * 10;
+                let classes = 5.min(objects);
+                format!(
+                    "[scenario]\nname = \"prop\"\nreplications = {reps}\nseed = {seed}\n\n\
+                     [system]\nsystem_class = \"{class}\"\npage_replacement = \"{policy}\"\n\
+                     clustering = \"{clustering}\"\nbuffer_pages = {pages}\n\
+                     multiprogramming_level = {mpl}\n\n\
+                     [database]\nclasses = {classes}\nobjects = {objects}\n\n\
+                     [workload]\nhot_transactions = 25\nroot_dist = \"{root_dist}\"\n\n\
+                     [[sweep]]\nparam = \"system.buffer_pages\"\nvalues = [{pages}, {}]\n",
+                    pages * 2
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse → serialize → parse is the identity on scenarios: the
+    /// reserialized text parses to a scenario whose canonical form is
+    /// stable and whose grid matches.
+    #[test]
+    fn scenario_round_trip(text in arb_scenario_text()) {
+        let scenario = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n--- document ---\n{text}"));
+        let canonical = scenario.to_toml_string();
+        let reparsed = Scenario::parse(&canonical)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- document ---\n{canonical}"));
+        prop_assert_eq!(reparsed.to_toml_string(), canonical);
+        prop_assert_eq!(reparsed.name, scenario.name);
+        prop_assert_eq!(reparsed.replications, scenario.replications);
+        prop_assert_eq!(reparsed.seed, scenario.seed);
+        prop_assert_eq!(reparsed.sweep, scenario.sweep);
+        prop_assert_eq!(reparsed.grid().len(), scenario.grid().len());
+        prop_assert_eq!(
+            reparsed.config.system.buffer_pages,
+            scenario.config.system.buffer_pages
+        );
+    }
+
+    /// The grid is the full cartesian product, first axis slowest.
+    #[test]
+    fn grid_is_cartesian(a in 1usize..5, b in 1usize..5) {
+        let values = |n: usize, base: usize| {
+            (0..n).map(|i| ((base + i) * 64).to_string()).collect::<Vec<_>>().join(", ")
+        };
+        let text = format!(
+            "[scenario]\nname = \"grid\"\n\n[database]\nclasses = 5\nobjects = 100\n\n\
+             [workload]\nhot_transactions = 10\n\n\
+             [[sweep]]\nparam = \"system.buffer_pages\"\nvalues = [{}]\n\n\
+             [[sweep]]\nparam = \"system.multiprogramming_level\"\nvalues = [{}]\n",
+            values(a, 1),
+            (1..=b).map(|v| v.to_string()).collect::<Vec<_>>().join(", "),
+        );
+        let scenario = Scenario::parse(&text).unwrap();
+        let grid = scenario.grid();
+        prop_assert_eq!(grid.len(), a * b);
+        // First axis slowest: consecutive chunks of size b share buffer_pages.
+        for (i, point) in grid.iter().enumerate() {
+            prop_assert_eq!(point.config.system.buffer_pages, (1 + i / b) * 64);
+            prop_assert_eq!(point.config.system.multiprogramming_level, 1 + i % b);
+        }
+    }
+}

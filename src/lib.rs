@@ -10,13 +10,17 @@
 //! | [`clustering`] | Clustering strategies incl. DSTC, and object placement |
 //! | [`oostore`] | Miniature *real* engines standing in for O2 / Texas (§4.2.1) |
 //! | [`voodb`] | The generic evaluation model itself (§3) |
+//! | [`scenario`] | Declarative experiment specs, the parallel sweep runner, and the `voodb` CLI |
 //!
-//! See `examples/` for runnable studies and `crates/bench` for the harness
-//! that regenerates every table and figure of the paper's evaluation.
+//! See `examples/` for runnable studies, `crates/bench` for the harness
+//! that regenerates every table and figure of the paper's evaluation, and
+//! `scenarios/` for declarative experiment presets runnable with
+//! `cargo run --release --bin voodb -- run <file>`.
 
 pub use bufmgr;
 pub use clustering;
 pub use desp;
 pub use ocb;
 pub use oostore;
+pub use scenario;
 pub use voodb;
