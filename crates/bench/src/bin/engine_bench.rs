@@ -1,0 +1,155 @@
+//! Engine event throughput and telemetry-hook overhead, as JSON.
+//!
+//! Measures (a) the raw kernel on the M/M/1 validation model, (b) the
+//! full VOODB model untraced, and (c) the same model under the
+//! `voodb-trace` recorder, then emits `BENCH_engine.json` — the
+//! machine-readable perf trajectory CI uploads on every push. Each
+//! measurement is best-of-`reps` wall-clock (min time → max
+//! events/sec), which is robust to scheduler noise.
+//!
+//! Under `NoProbe` the kernel's hook sites are monomorphised away, so
+//! the untraced numbers are the pre-hook engine throughput; the
+//! `trace_recorder_overhead_pct` line is the full price of
+//! `voodb run --trace`.
+//!
+//! ```text
+//! cargo run --release -p voodb-bench --bin engine_bench -- \
+//!     [--smoke] [--reps 5] [--seed 42] [--out BENCH_engine.json]
+//! ```
+
+use desp::queueing::simulate_mm1;
+use ocb::{DatabaseParams, WorkloadParams};
+use std::path::PathBuf;
+use std::time::Instant;
+use voodb::{run_once, run_once_probed, ExperimentConfig, VoodbParams};
+use voodb_bench::Args;
+use vtrace::{Json, TraceRecorder};
+
+/// One emitted measurement.
+struct Measurement {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Best-of-`reps` events/sec of `run`, where `run` returns the events
+/// it dispatched.
+fn best_events_per_sec(reps: usize, mut run: impl FnMut() -> u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let events = run();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(events as f64 / elapsed);
+    }
+    best
+}
+
+fn config(hot_transactions: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        system: VoodbParams {
+            buffer_pages: 128,
+            users: 4,
+            multiprogramming_level: 2,
+            ..VoodbParams::default()
+        },
+        database: DatabaseParams::small(),
+        workload: WorkloadParams {
+            hot_transactions,
+            ..WorkloadParams::default()
+        },
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        return Args::print_help(
+            "engine_bench",
+            &[
+                ("smoke", "CI mode: smaller workloads, fewer repetitions"),
+                ("reps", "best-of repetitions per measurement (default 5)"),
+                ("seed", "simulation seed (default 42)"),
+                (
+                    "out",
+                    "output JSON path (default BENCH_engine.json in the working directory)",
+                ),
+            ],
+        );
+    }
+    let smoke = args.flag("smoke");
+    let reps = args.get("reps", if smoke { 3usize } else { 5 });
+    let seed = args.get("seed", 42u64);
+    let out = args.get("out", PathBuf::from("BENCH_engine.json"));
+    let horizon_ms = if smoke { 20_000.0 } else { 200_000.0 };
+    let hot = if smoke { 60 } else { 300 };
+
+    let kernel = best_events_per_sec(reps, || {
+        simulate_mm1(0.9, 1.0, horizon_ms, horizon_ms / 10.0, seed).events
+    });
+    let config = config(hot);
+    let noop = best_events_per_sec(reps, || run_once(&config, seed).events);
+    let mut spans = 0usize;
+    let traced = best_events_per_sec(reps, || {
+        let (result, recorder) = run_once_probed(&config, seed, TraceRecorder::new());
+        spans = recorder.spans().len();
+        result.events
+    });
+    let overhead_pct = (noop - traced) / noop * 100.0;
+
+    let measurements = [
+        Measurement {
+            name: "kernel_mm1_events_per_sec",
+            value: kernel,
+            unit: "events/s",
+        },
+        Measurement {
+            name: "voodb_model_events_per_sec_noop",
+            value: noop,
+            unit: "events/s",
+        },
+        Measurement {
+            name: "voodb_model_events_per_sec_traced",
+            value: traced,
+            unit: "events/s",
+        },
+        Measurement {
+            name: "trace_recorder_overhead_pct",
+            value: overhead_pct,
+            unit: "%",
+        },
+        Measurement {
+            name: "traced_spans_per_run",
+            value: spans as f64,
+            unit: "spans",
+        },
+    ];
+
+    println!(
+        "# engine_bench ({} mode, best of {reps})",
+        if smoke { "smoke" } else { "full" }
+    );
+    for m in &measurements {
+        println!("{:<36} {:>16.1} {}", m.name, m.value, m.unit);
+    }
+
+    let json = Json::Arr(
+        measurements
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(m.name.into())),
+                    ("value".into(), Json::Num(m.value)),
+                    ("unit".into(), Json::Str(m.unit.into())),
+                ])
+            })
+            .collect(),
+    );
+    match std::fs::write(&out, json.to_string_compact() + "\n") {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

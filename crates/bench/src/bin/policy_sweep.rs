@@ -14,8 +14,9 @@
 use bufmgr::PolicyKind;
 use desp::ConfidenceInterval;
 use ocb::{DatabaseParams, WorkloadParams};
-use voodb::{run_once, ExperimentConfig, SystemClass, VoodbParams};
-use voodb_bench::{replicate, Args, COMMON_KEYS};
+use voodb::{run_once_probed, ExperimentConfig, SystemClass, VoodbParams};
+use voodb_bench::{replicate_map, Args, COMMON_KEYS};
+use vtrace::{Histogram, TraceRecorder};
 
 fn main() {
     let args = Args::from_env();
@@ -39,8 +40,8 @@ fn main() {
 
     println!("# Ablation: page replacement policies (simulated, {objects} objects, {buffer_pages}-page buffer)");
     println!(
-        "{:<12} {:>12} {:>10} {:>10}",
-        "policy", "ios", "±95%", "hit-ratio"
+        "{:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "ios", "±95%", "hit-ratio", "p50(ms)", "p99(ms)", "max(ms)"
     );
     for policy in PolicyKind::all_default() {
         let config = ExperimentConfig {
@@ -55,16 +56,34 @@ fn main() {
             database: db.clone(),
             workload: workload.clone(),
         };
-        let ios = replicate(reps, seed, |s| run_once(&config, s).total_ios() as f64);
-        let hits = replicate(reps, seed, |s| run_once(&config, s).hit_ratio);
+        // One traced run per replication yields the scalar columns and
+        // the latency histogram together.
+        let samples: Vec<(f64, f64, Histogram)> = replicate_map(reps, seed, |s| {
+            let (result, recorder) = run_once_probed(&config, s, TraceRecorder::new());
+            let hist = recorder
+                .stage_histograms()
+                .get("response_ms")
+                .cloned()
+                .unwrap_or_default();
+            (result.total_ios() as f64, result.hit_ratio, hist)
+        });
+        let ios: Vec<f64> = samples.iter().map(|(ios, _, _)| *ios).collect();
+        let hits: Vec<f64> = samples.iter().map(|(_, hit, _)| *hit).collect();
+        let mut latency = Histogram::new();
+        for (_, _, hist) in &samples {
+            latency.merge(hist);
+        }
         let ci = ConfidenceInterval::from_samples(&ios, 0.95);
         let hit = ConfidenceInterval::from_samples(&hits, 0.95);
         println!(
-            "{:<12} {:>12.1} {:>10.1} {:>10.4}",
+            "{:<12} {:>12.1} {:>10.1} {:>10.4} {:>10.2} {:>10.2} {:>10.2}",
             policy.to_string(),
             ci.mean,
             ci.half_width,
-            hit.mean
+            hit.mean,
+            latency.p50(),
+            latency.p99(),
+            latency.max_or_zero(),
         );
     }
 }

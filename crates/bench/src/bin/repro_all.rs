@@ -17,8 +17,9 @@ use scenario::DEFAULT_OUT_DIR;
 use std::path::{Path, PathBuf};
 use voodb_bench::{
     check_same_tendency, dstc_bench_once, dstc_mean, dstc_report_table, dstc_sim_once,
-    measure_preset_point, print_cluster_table, print_dstc_table, print_sweep, sweep_report_table,
-    Args, Point, Preset, COMMON_KEYS, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
+    latency_report_table, measure_preset_point, preset_latency, print_cluster_table,
+    print_dstc_table, print_latency_table, print_sweep, sweep_report_table, Args, LatencyRow,
+    Point, Preset, COMMON_KEYS, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
 };
 
 /// Prints the sweep, checks its shape, and persists CSV/JSON.
@@ -151,6 +152,26 @@ fn main() {
         "Figure 11: mean I/Os vs available memory (Texas)",
         "memory(MB)",
         points,
+    );
+
+    // ----- Beyond the paper: response-time percentiles -------------------
+    // The paper reports means only; the telemetry subsystem makes tail
+    // latencies free. One merged histogram per validated preset at its
+    // reference size, over the same replication protocol.
+    let latency_base = ObjectBase::generate(&mid, seed);
+    let rows: Vec<LatencyRow> = [(Preset::O2, 16usize), (Preset::Texas, 64)]
+        .into_iter()
+        .map(|(preset, mb)| LatencyRow {
+            label: format!("{preset:?} ({mb} MB)"),
+            hist: preset_latency(preset, &latency_base, &workload, mb, reps, seed + 1),
+        })
+        .collect();
+    let latency_title = "Response-time percentiles (simulation, mid-sized base)";
+    print_latency_table(latency_title, &rows);
+    persist(
+        latency_report_table(latency_title, &rows),
+        &out,
+        "latency_percentiles",
     );
 
     // ----- Tables 6, 7, 8: DSTC -------------------------------------------

@@ -387,6 +387,48 @@ where
     }
 }
 
+/// One traced replication of a preset's *simulation* column: the
+/// response-time histogram of the warm run (cold transactions excluded
+/// from neither — the trace covers the whole phase, like the recorder).
+pub fn preset_latency_once(
+    preset: Preset,
+    base: &ObjectBase,
+    wl: &WorkloadParams,
+    mb: usize,
+    seed: u64,
+) -> vtrace::Histogram {
+    let (transactions, cold_count) = generate_workload(base, wl, seed);
+    let mut simulation = Simulation::new(base, preset.params(mb), wl.think_time_ms, seed);
+    let (_, recorder) =
+        simulation.run_phase_probed(transactions, cold_count, vtrace::TraceRecorder::new());
+    recorder
+        .stage_histograms()
+        .get("response_ms")
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Merged response-time histogram over `reps` traced replications
+/// (parallel, deterministic in seed order — histograms merge
+/// commutatively but we merge in index order anyway).
+pub fn preset_latency(
+    preset: Preset,
+    base: &ObjectBase,
+    wl: &WorkloadParams,
+    mb: usize,
+    reps: usize,
+    base_seed: u64,
+) -> vtrace::Histogram {
+    let hists = replicate_map(reps, base_seed, |seed| {
+        preset_latency_once(preset, base, wl, mb, seed)
+    });
+    let mut merged = vtrace::Histogram::new();
+    for hist in &hists {
+        merged.merge(hist);
+    }
+    merged
+}
+
 /// The database sizes swept by Figs. 6/7/9/10.
 pub const INSTANCE_SWEEP: [usize; 6] = [500, 1_000, 2_000, 5_000, 10_000, 20_000];
 

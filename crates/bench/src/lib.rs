@@ -25,11 +25,11 @@ pub mod report;
 pub use args::{Args, COMMON_KEYS};
 pub use harness::{
     dstc_bench_once, dstc_mean, dstc_sim_once, generate_workload, measure_point,
-    measure_preset_point, o2_bench_ios, o2_sim_ios, preset_ios, replicate, replicate_map,
-    texas_bench_ios, texas_sim_ios, DstcSide, Estimate, Point, Preset, Side, INSTANCE_SWEEP,
-    MEMORY_SWEEP_MB,
+    measure_preset_point, o2_bench_ios, o2_sim_ios, preset_ios, preset_latency,
+    preset_latency_once, replicate, replicate_map, texas_bench_ios, texas_sim_ios, DstcSide,
+    Estimate, Point, Preset, Side, INSTANCE_SWEEP, MEMORY_SWEEP_MB,
 };
 pub use report::{
-    check_same_tendency, dstc_report_table, print_cluster_table, print_dstc_table, print_sweep,
-    sweep_report_table,
+    check_same_tendency, dstc_report_table, latency_report_table, print_cluster_table,
+    print_dstc_table, print_latency_table, print_sweep, sweep_report_table, LatencyRow,
 };

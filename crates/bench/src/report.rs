@@ -10,6 +10,61 @@
 
 use crate::harness::{DstcSide, Point};
 use scenario::{Cell, ReportTable};
+use vtrace::Histogram;
+
+/// One labelled latency distribution (e.g. a preset or a policy).
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Row label.
+    pub label: String,
+    /// The merged response-time histogram.
+    pub hist: Histogram,
+}
+
+/// Prints a latency percentile table (the histogram columns of the
+/// repro binaries).
+pub fn print_latency_table(title: &str, rows: &[LatencyRow]) {
+    println!("# {title}");
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "n", "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)", "mean(ms)"
+    );
+    for row in rows {
+        println!(
+            "{:<24} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            row.label,
+            row.hist.count(),
+            row.hist.p50(),
+            row.hist.p90(),
+            row.hist.p99(),
+            row.hist.max_or_zero(),
+            row.hist.mean()
+        );
+    }
+    println!();
+}
+
+/// Converts a latency table into a persistable [`ReportTable`].
+pub fn latency_report_table(title: &str, rows: &[LatencyRow]) -> ReportTable {
+    let mut table = ReportTable::new(
+        title,
+        &[
+            "label", "n", "p50_ms", "p90_ms", "p99_ms", "max_ms", "mean_ms",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            Cell::Text(row.label.clone()),
+            Cell::Int(row.hist.count() as i64),
+            Cell::Num(row.hist.p50()),
+            Cell::Num(row.hist.p90()),
+            Cell::Num(row.hist.p99()),
+            Cell::Num(row.hist.max_or_zero()),
+            Cell::Num(row.hist.mean()),
+        ]);
+    }
+    table
+}
 
 /// Prints a figure-style sweep table.
 pub fn print_sweep(title: &str, x_label: &str, points: &[Point]) {

@@ -14,7 +14,7 @@ use crate::cman::SimReorgReport;
 use crate::model::VoodbModel;
 use crate::params::VoodbParams;
 use crate::results::PhaseResult;
-use desp::{Engine, MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
+use desp::{Engine, MetricSet, NoProbe, Probe, ReplicationPolicy, ReplicationReport, Replicator};
 use ocb::{DatabaseParams, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams};
 
 /// Seed decorrelation constant between database and workload streams.
@@ -37,14 +37,28 @@ impl<'a> Simulation<'a> {
     /// `cold_count` onwards. State (buffers, placement, clustering
     /// statistics) carries over between phases.
     pub fn run_phase(&mut self, transactions: Vec<Transaction>, cold_count: usize) -> PhaseResult {
+        self.run_phase_probed(transactions, cold_count, NoProbe).0
+    }
+
+    /// Runs one phase with a trace probe attached (e.g. a
+    /// `voodb-trace` recorder), returning the probe alongside the
+    /// result. Probes only observe, so the [`PhaseResult`] is
+    /// bit-identical to an untraced [`Self::run_phase`] of the same
+    /// phase.
+    pub fn run_phase_probed<P: Probe>(
+        &mut self,
+        transactions: Vec<Transaction>,
+        cold_count: usize,
+        probe: P,
+    ) -> (PhaseResult, P) {
         let mut model = self.model.take().expect("model present");
         model.load_phase(transactions, cold_count);
-        let mut engine = Engine::new(model);
+        let mut engine = Engine::with_probe(model, probe);
         let outcome = engine.run_to_completion();
-        let model = engine.into_model();
+        let (model, probe) = engine.into_parts();
         let result = model.phase_result(outcome.events_dispatched);
         self.model = Some(model);
-        result
+        (result, probe)
     }
 
     /// Cold restart: empties every buffer (dirty pages written back).
@@ -95,6 +109,17 @@ impl ExperimentConfig {
 /// the workload from `seed`, execute `COLDN` cold + `HOTN` measured
 /// transactions, return the phase result.
 pub fn run_once(config: &ExperimentConfig, seed: u64) -> PhaseResult {
+    run_once_probed(config, seed, NoProbe).0
+}
+
+/// [`run_once`] with a trace probe attached (e.g. a `voodb-trace`
+/// recorder). Probes only observe, so the [`PhaseResult`] is
+/// bit-identical to the untraced run.
+pub fn run_once_probed<P: Probe>(
+    config: &ExperimentConfig,
+    seed: u64,
+    probe: P,
+) -> (PhaseResult, P) {
     config.validate().expect("invalid experiment configuration");
     let base = ObjectBase::generate(&config.database, seed);
     let mut generator =
@@ -109,7 +134,7 @@ pub fn run_once(config: &ExperimentConfig, seed: u64) -> PhaseResult {
         config.workload.think_time_ms,
         seed,
     );
-    simulation.run_phase(transactions, cold_count)
+    simulation.run_phase_probed(transactions, cold_count, probe)
 }
 
 /// Runs the experiment under the replication protocol, returning per-metric

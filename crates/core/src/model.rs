@@ -34,7 +34,7 @@ use crate::params::ConcurrencyControl;
 use crate::params::{SystemClass, VoodbParams};
 use crate::results::PhaseResult;
 use bufmgr::PrefetchPolicy;
-use desp::{Context, Model, RandomStream, Resource, SimTime, Welford};
+use desp::{Context, Model, Probe, RandomStream, Resource, SimTime, SpanPoint, Welford};
 use ocb::{Access, ObjectBase, Oid, Transaction};
 use std::collections::{HashMap, HashSet};
 
@@ -232,7 +232,8 @@ impl<'a> VoodbModel<'a> {
 
     /// Continues an access once its lock is held: GETLOCK CPU on first
     /// touch, then the storage pipeline.
-    fn after_lock_granted(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+    fn after_lock_granted<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
+        ctx.emit_span(tid as u64, SpanPoint::LockGranted);
         let needs_lock_time = {
             let t = self.active.get_mut(&tid).expect("active");
             let oid = t.accesses[t.pos].oid;
@@ -248,7 +249,13 @@ impl<'a> VoodbModel<'a> {
     /// Deadlock victim: release everything, restart from the top after a
     /// backoff (the victim keeps its scheduler slot — a restart, not a
     /// resubmission).
-    fn abort_and_restart(&mut self, tid: Tid, backoff_ms: f64, ctx: &mut Context<'_, Event>) {
+    fn abort_and_restart<P: Probe>(
+        &mut self,
+        tid: Tid,
+        backoff_ms: f64,
+        ctx: &mut Context<'_, Event, P>,
+    ) {
+        ctx.emit_span(tid as u64, SpanPoint::Restart);
         self.aborts += 1;
         let resumed = self.locks.release_all(tid);
         for other in resumed {
@@ -273,7 +280,7 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Arms the next strike of `kind`, if configured and work remains.
-    fn arm_hazard(&mut self, kind: HazardKind, ctx: &mut Context<'_, Event>) {
+    fn arm_hazard<P: Probe>(&mut self, kind: HazardKind, ctx: &mut Context<'_, Event, P>) {
         if !self.work_remaining() {
             return;
         }
@@ -407,7 +414,7 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Users activity: submit the next transaction, if any remain.
-    fn submit_next(&mut self, user: usize, ctx: &mut Context<'_, Event>) {
+    fn submit_next<P: Probe>(&mut self, user: usize, ctx: &mut Context<'_, Event, P>) {
         if self.next_tx >= self.transactions.len() {
             return; // This user is done.
         }
@@ -430,12 +437,13 @@ impl<'a> VoodbModel<'a> {
                 holding_cpu: false,
             },
         );
+        ctx.emit_span(tid as u64, SpanPoint::Submit);
         // Transaction Manager admission through the scheduler (MPL).
         self.scheduler.request(Event::Admitted(tid), ctx);
     }
 
     /// Buffering Manager + I/O Subsystem step for the current access.
-    fn access_storage(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+    fn access_storage<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
         let (oid, write) = {
             let t = &self.active[&tid];
             (t.current().oid, t.current().write)
@@ -461,13 +469,14 @@ impl<'a> VoodbModel<'a> {
         } else {
             let t = self.active.get_mut(&tid).expect("active");
             t.pending_io = Some((writes, reads, site));
+            ctx.emit_span(tid as u64, SpanPoint::DiskRequest);
             self.disks[site].request(Event::DiskGranted(tid), ctx);
         }
     }
 
     /// After the page is available: network shipping for client-server
     /// classes, then the access completes.
-    fn leave_storage(&mut self, tid: Tid, _page: u32, ctx: &mut Context<'_, Event>) {
+    fn leave_storage<P: Probe>(&mut self, tid: Tid, _page: u32, ctx: &mut Context<'_, Event, P>) {
         let bytes = match self.params.system_class {
             SystemClass::Centralized => 0,
             SystemClass::PageServer | SystemClass::HybridMultiServer { .. } => {
@@ -482,6 +491,7 @@ impl<'a> VoodbModel<'a> {
         if ms > 0.0 {
             let t = self.active.get_mut(&tid).expect("active");
             t.pending_net = bytes;
+            ctx.emit_span(tid as u64, SpanPoint::NetRequest);
             self.network.request(Event::NetGranted(tid), ctx);
         } else {
             ctx.schedule_now(Event::AccessDone(tid));
@@ -489,7 +499,7 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Commit: lock releases, scheduler release, statistics, user restart.
-    fn begin_commit(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+    fn begin_commit<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
         let locked = self.active[&tid].locked.len();
         if self.params.release_lock_ms > 0.0 && locked > 0 {
             self.cpu.request(Event::CommitCpu(tid), ctx);
@@ -498,7 +508,7 @@ impl<'a> VoodbModel<'a> {
         }
     }
 
-    fn finish_transaction(&mut self, tid: Tid, ctx: &mut Context<'_, Event>) {
+    fn finish_transaction<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
         if matches!(self.params.concurrency, ConcurrencyControl::TwoPhase { .. }) {
             for other in self.locks.release_all(tid) {
                 ctx.schedule_now(Event::LockResume(other));
@@ -506,6 +516,7 @@ impl<'a> VoodbModel<'a> {
         }
         let t = self.active.remove(&tid).expect("active transaction");
         if t.holding_cpu {
+            ctx.emit_span(tid as u64, SpanPoint::CpuEnd);
             self.cpu.release(ctx);
         }
         self.scheduler.release(ctx);
@@ -516,6 +527,25 @@ impl<'a> VoodbModel<'a> {
                 .add(ctx.now().saturating_since(t.submitted).as_ms());
         }
         self.phase_end = ctx.now();
+        ctx.emit_span(tid as u64, SpanPoint::Committed);
+        if ctx.tracing() {
+            // Utilisation/occupancy snapshots at every commit: cheap,
+            // commit-frequency sampling of the passive resources.
+            let now = ctx.now();
+            let (hits, misses) = self.total_hits_misses();
+            let hit_ratio = if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            };
+            ctx.emit_sample("hit_ratio", hit_ratio);
+            ctx.emit_sample("active_transactions", self.active.len() as f64);
+            ctx.emit_sample("mpl_queue", self.scheduler.queue_len() as f64);
+            let disk_util = self.disks.iter().map(|d| d.utilization(now)).sum::<f64>()
+                / self.disks.len() as f64;
+            ctx.emit_sample("disk_utilization", disk_util);
+            ctx.emit_sample("network_utilization", self.network.utilization(now));
+        }
         // Clustering Manager: automatic triggering (Fig. 4).
         if self.cman.should_trigger() {
             self.disks[0].request(Event::ReorgGranted { user: t.user }, ctx);
@@ -526,10 +556,10 @@ impl<'a> VoodbModel<'a> {
     }
 }
 
-impl Model for VoodbModel<'_> {
+impl<P: Probe> Model<P> for VoodbModel<'_> {
     type Event = Event;
 
-    fn init(&mut self, ctx: &mut Context<'_, Event>) {
+    fn init(&mut self, ctx: &mut Context<'_, Event, P>) {
         for user in 0..self.params.users {
             let delay = self.think_delay();
             ctx.schedule(delay, Event::Submit { user });
@@ -538,7 +568,7 @@ impl Model for VoodbModel<'_> {
         self.arm_hazard(HazardKind::Serious, ctx);
     }
 
-    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event>) {
+    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event, P>) {
         match event {
             Event::Submit { user } => self.submit_next(user, ctx),
             Event::Admitted(tid) => {
@@ -549,6 +579,7 @@ impl Model for VoodbModel<'_> {
                     self.hits_mark = self.total_hits_misses();
                     self.measure_start = ctx.now();
                 }
+                ctx.emit_span(tid as u64, SpanPoint::Admitted);
                 ctx.schedule_now(Event::StartAccess(tid));
             }
             Event::StartAccess(tid) => {
@@ -560,6 +591,7 @@ impl Model for VoodbModel<'_> {
                     self.begin_commit(tid, ctx);
                     return;
                 }
+                ctx.emit_span(tid as u64, SpanPoint::LockRequest);
                 match self.params.concurrency {
                     ConcurrencyControl::TimedOnly => self.after_lock_granted(tid, ctx),
                     ConcurrencyControl::TwoPhase {
@@ -600,14 +632,17 @@ impl Model for VoodbModel<'_> {
             }
             Event::LockCpu(tid) => {
                 self.active.get_mut(&tid).expect("active").holding_cpu = true;
+                ctx.emit_span(tid as u64, SpanPoint::CpuStart);
                 ctx.schedule(self.params.get_lock_ms, Event::LockHeld(tid));
             }
             Event::LockHeld(tid) => {
                 self.active.get_mut(&tid).expect("active").holding_cpu = false;
+                ctx.emit_span(tid as u64, SpanPoint::CpuEnd);
                 self.cpu.release(ctx);
                 self.access_storage(tid, ctx);
             }
             Event::DiskGranted(tid) => {
+                ctx.emit_span(tid as u64, SpanPoint::DiskStart);
                 let (writes, reads, site) = self
                     .active
                     .get_mut(&tid)
@@ -622,6 +657,7 @@ impl Model for VoodbModel<'_> {
                 ctx.schedule(duration, Event::DiskDone(tid));
             }
             Event::DiskDone(tid) => {
+                ctx.emit_span(tid as u64, SpanPoint::DiskEnd);
                 let site = self
                     .active
                     .get_mut(&tid)
@@ -638,15 +674,18 @@ impl Model for VoodbModel<'_> {
                 self.leave_storage(tid, page, ctx);
             }
             Event::NetGranted(tid) => {
+                ctx.emit_span(tid as u64, SpanPoint::NetStart);
                 let bytes = self.active[&tid].pending_net;
                 let ms = self.params.transfer_ms(bytes);
                 ctx.schedule(ms, Event::NetDone(tid));
             }
             Event::NetDone(tid) => {
+                ctx.emit_span(tid as u64, SpanPoint::NetEnd);
                 self.network.release(ctx);
                 ctx.schedule_now(Event::AccessDone(tid));
             }
             Event::AccessDone(tid) => {
+                ctx.emit_span(tid as u64, SpanPoint::AccessDone);
                 let (parent, oid) = {
                     let t = self.active.get_mut(&tid).expect("active");
                     let access = t.accesses[t.pos];
@@ -659,6 +698,7 @@ impl Model for VoodbModel<'_> {
             Event::CommitCpu(tid) => {
                 let locked = self.active[&tid].locked.len();
                 self.active.get_mut(&tid).expect("active").holding_cpu = true;
+                ctx.emit_span(tid as u64, SpanPoint::CpuStart);
                 ctx.schedule(
                     self.params.release_lock_ms * locked as f64,
                     Event::Committed(tid),
@@ -746,7 +786,7 @@ mod tests {
     ) -> PhaseResult {
         let mut model = VoodbModel::new(base, params, 0.0, 99);
         model.load_phase(transactions, 0);
-        let mut engine = Engine::new(model);
+        let mut engine = Engine::with_probe(model, desp::NoProbe);
         let outcome = engine.run_to_completion();
         engine.model().phase_result(outcome.events_dispatched)
     }
@@ -770,7 +810,7 @@ mod tests {
         let all = run_phase(&base, small_params(), transactions.clone());
         let mut model = VoodbModel::new(&base, small_params(), 0.0, 99);
         model.load_phase(transactions, 10);
-        let mut engine = Engine::new(model);
+        let mut engine = Engine::with_probe(model, desp::NoProbe);
         let outcome = engine.run_to_completion();
         let measured = engine.model().phase_result(outcome.events_dispatched);
         assert_eq!(measured.transactions, 20);

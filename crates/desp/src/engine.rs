@@ -16,6 +16,7 @@
 //! * **Monotone clock** — an event can never be scheduled in the past;
 //!   violations panic rather than silently corrupting the timeline.
 
+use crate::probe::{NoProbe, Probe, SpanPoint};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -26,16 +27,23 @@ use std::collections::BinaryHeap;
 /// resource* becomes a component of the implementing type, each *functioning
 /// rule* a method invoked from [`Model::handle`], and each *passive
 /// resource* a [`crate::resource::Resource`] field.
-pub trait Model {
+///
+/// The probe parameter `P` defaults to [`NoProbe`], so a plain
+/// `impl Model for MyModel` is an untraced model exactly as before the
+/// telemetry hooks existed. A model that wants to run under *any*
+/// recorder implements `impl<P: Probe> Model<P> for MyModel` instead and
+/// emits lifecycle spans via [`Context::emit_span`] /
+/// [`Context::emit_sample`].
+pub trait Model<P: Probe = NoProbe> {
     /// The event vocabulary of the model.
     type Event;
 
     /// Called once before the first event is dispatched; schedules the
     /// initial events (e.g. first transaction arrivals).
-    fn init(&mut self, ctx: &mut Context<'_, Self::Event>);
+    fn init(&mut self, ctx: &mut Context<'_, Self::Event, P>);
 
     /// Handles one event occurrence at the current simulated instant.
-    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event, P>);
 }
 
 /// Entry in the event list: `(time, seq)` gives the deterministic total
@@ -103,14 +111,15 @@ impl<E> EventHeap<E> {
 }
 
 /// The model's handle on the engine during event dispatch: the clock, the
-/// event list and the stop flag.
-pub struct Context<'a, E> {
+/// event list, the stop flag, and the trace probe.
+pub struct Context<'a, E, P: Probe = NoProbe> {
     now: SimTime,
     heap: &'a mut EventHeap<E>,
     stop: &'a mut bool,
+    probe: &'a mut P,
 }
 
-impl<'a, E> Context<'a, E> {
+impl<'a, E, P: Probe> Context<'a, E, P> {
     /// Current simulated instant.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -127,7 +136,9 @@ impl<'a, E> Context<'a, E> {
             delay_ms >= 0.0,
             "cannot schedule an event in the past (delay {delay_ms})"
         );
-        self.heap.push(self.now + delay_ms, event);
+        let at = self.now + delay_ms;
+        self.probe.on_schedule(self.now.as_ms(), at.as_ms());
+        self.heap.push(at, event);
     }
 
     /// Schedules `event` at absolute instant `at`.
@@ -137,6 +148,7 @@ impl<'a, E> Context<'a, E> {
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule an event in the past");
+        self.probe.on_schedule(self.now.as_ms(), at.as_ms());
         self.heap.push(at, event);
     }
 
@@ -144,6 +156,7 @@ impl<'a, E> Context<'a, E> {
     /// at the same instant).
     #[inline]
     pub fn schedule_now(&mut self, event: E) {
+        self.probe.on_schedule(self.now.as_ms(), self.now.as_ms());
         self.heap.push(self.now, event);
     }
 
@@ -157,6 +170,32 @@ impl<'a, E> Context<'a, E> {
     #[inline]
     pub fn pending_events(&self) -> usize {
         self.heap.len()
+    }
+
+    /// True when a recording probe is attached. Models guard span/sample
+    /// argument computation behind this so untraced runs pay nothing.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        P::ENABLED
+    }
+
+    /// Emits a transaction lifecycle span point at the current instant.
+    #[inline]
+    pub fn emit_span(&mut self, tid: u64, point: SpanPoint) {
+        self.probe.on_span(tid, point, self.now.as_ms());
+    }
+
+    /// Emits one time-series sample at the current instant.
+    #[inline]
+    pub fn emit_sample(&mut self, series: &str, value: f64) {
+        self.probe.on_sample(series, self.now.as_ms(), value);
+    }
+
+    /// Direct access to the probe (used by [`crate::resource::Resource`]
+    /// to report waits and grants).
+    #[inline]
+    pub fn probe_mut(&mut self) -> &mut P {
+        self.probe
     }
 }
 
@@ -184,9 +223,12 @@ pub struct RunOutcome {
     pub events_dispatched: u64,
 }
 
-/// The simulation engine: owns the model, the clock and the event list.
-pub struct Engine<M: Model> {
+/// The simulation engine: owns the model, the clock, the event list and
+/// the trace probe (a [`NoProbe`] unless built via
+/// [`Engine::with_probe`]).
+pub struct Engine<M: Model<P>, P: Probe = NoProbe> {
     model: M,
+    probe: P,
     heap: EventHeap<M::Event>,
     clock: SimTime,
     stop: bool,
@@ -195,10 +237,20 @@ pub struct Engine<M: Model> {
 }
 
 impl<M: Model> Engine<M> {
-    /// Wraps `model`; the model's `init` runs on the first `run_*` call.
+    /// Wraps `model` untraced; the model's `init` runs on the first
+    /// `run_*` call.
     pub fn new(model: M) -> Self {
+        Engine::with_probe(model, NoProbe)
+    }
+}
+
+impl<M: Model<P>, P: Probe> Engine<M, P> {
+    /// Wraps `model` with a trace probe receiving every kernel hook and
+    /// model emission.
+    pub fn with_probe(model: M, probe: P) -> Self {
         Engine {
             model,
+            probe,
             heap: EventHeap::new(),
             clock: SimTime::ZERO,
             stop: false,
@@ -217,9 +269,19 @@ impl<M: Model> Engine<M> {
         &mut self.model
     }
 
+    /// Immutable access to the probe (for reading telemetry).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
     /// Consumes the engine, returning the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// Consumes the engine, returning the model and the probe.
+    pub fn into_parts(self) -> (M, P) {
+        (self.model, self.probe)
     }
 
     /// Current simulated instant.
@@ -239,6 +301,7 @@ impl<M: Model> Engine<M> {
                 now: self.clock,
                 heap: &mut self.heap,
                 stop: &mut self.stop,
+                probe: &mut self.probe,
             };
             self.model.init(&mut ctx);
         }
@@ -256,10 +319,12 @@ impl<M: Model> Engine<M> {
         debug_assert!(time >= self.clock, "event list yielded a past event");
         self.clock = time;
         self.dispatched += 1;
+        self.probe.on_dispatch(time.as_ms(), self.heap.len());
         let mut ctx = Context {
             now: self.clock,
             heap: &mut self.heap,
             stop: &mut self.stop,
+            probe: &mut self.probe,
         };
         self.model.handle(event, &mut ctx);
         true
@@ -453,6 +518,48 @@ mod tests {
         assert_eq!(outcome.reason, StopReason::Budget);
         assert_eq!(engine.model().ticks, 7);
         assert_eq!(outcome.events_dispatched, 7);
+    }
+
+    #[test]
+    fn probe_sees_schedules_dispatches_and_spans() {
+        use crate::probe::{CountingProbe, Probe, SpanPoint};
+
+        /// A probed chain: each event emits a span point and reschedules.
+        struct Chain {
+            remaining: u32,
+        }
+        impl<P: Probe> Model<P> for Chain {
+            type Event = ();
+            fn init(&mut self, ctx: &mut Context<'_, (), P>) {
+                ctx.schedule(1.0, ());
+            }
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, (), P>) {
+                if ctx.tracing() {
+                    ctx.emit_span(7, SpanPoint::AccessDone);
+                    ctx.emit_sample("depth", self.remaining as f64);
+                }
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.schedule(1.0, ());
+                }
+            }
+        }
+
+        let mut engine = Engine::with_probe(Chain { remaining: 4 }, CountingProbe::default());
+        engine.run_to_completion();
+        let probe = engine.probe();
+        assert_eq!(probe.schedules, 5); // init + 4 reschedules
+        assert_eq!(probe.dispatches, 5);
+        assert_eq!(probe.spans, 5);
+        assert_eq!(probe.samples, 5);
+
+        // The same model under the default NoProbe runs identically.
+        let (model, _noprobe) = {
+            let mut engine = Engine::new(Chain { remaining: 4 });
+            engine.run_to_completion();
+            engine.into_parts()
+        };
+        assert_eq!(model.remaining, 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod probe;
 pub mod queueing;
 pub mod random;
 pub mod replication;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Context, Engine, EventHeap, Model, RunOutcome, StopReason};
+pub use probe::{CountingProbe, NoProbe, Probe, SpanPoint};
 pub use random::{RandomStream, StreamFamily, Xoshiro256, Zipf};
 pub use replication::{MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
 pub use resource::{Discipline, Resource};

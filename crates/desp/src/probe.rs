@@ -1,0 +1,158 @@
+//! Kernel trace hooks.
+//!
+//! DESP-C++ collected a fixed statistics set per resource; anything
+//! richer (per-transaction lifecycles, tail latencies, utilisation over
+//! time) meant editing the kernel. This module inverts that: the kernel
+//! and the model call a [`Probe`] at its interesting instants —
+//! event scheduling, event dispatch, resource waits and grants, model
+//! lifecycle span points, and ad-hoc time-series samples — and the
+//! probe decides what to retain.
+//!
+//! The probe is a *static* type parameter of
+//! [`Engine`](crate::engine::Engine) and
+//! [`Context`](crate::engine::Context), defaulting to [`NoProbe`] whose
+//! hook bodies are empty: monomorphisation compiles every call site out
+//! of untraced runs, so enabling the hook seam costs ~zero when unused
+//! (asserted by the `trace_overhead` criterion bench). A recording
+//! implementation lives in the `voodb-trace` crate.
+//!
+//! All instants are simulated milliseconds ([`SimTime::as_ms`]
+//! values); the kernel never hands a probe wall-clock time.
+//!
+//! [`SimTime::as_ms`]: crate::time::SimTime::as_ms
+
+/// A point in a traced transaction's lifecycle (the Fig. 4 pipeline:
+/// arrive → admission → lock → CPU → buffer/disk → network → done).
+///
+/// Models emit these through
+/// [`Context::emit_span`](crate::engine::Context::emit_span), keyed by a
+/// caller-chosen transaction id. `Request`/`Start` pairs separate
+/// queueing delay from service time; a probe that only cares about
+/// end-to-end latency can watch `Submit` and `Committed` alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanPoint {
+    /// The transaction was submitted by its user.
+    Submit,
+    /// The MPL scheduler admitted it.
+    Admitted,
+    /// A lock was requested (possibly parking the transaction).
+    LockRequest,
+    /// The requested lock is held.
+    LockGranted,
+    /// The CPU was granted (lock bookkeeping begins).
+    CpuStart,
+    /// The CPU was released.
+    CpuEnd,
+    /// A disk I/O batch was requested.
+    DiskRequest,
+    /// The disk was granted; service begins.
+    DiskStart,
+    /// The I/O batch completed.
+    DiskEnd,
+    /// A network transfer was requested.
+    NetRequest,
+    /// The network was granted; the transfer begins.
+    NetStart,
+    /// The transfer completed.
+    NetEnd,
+    /// One object access completed.
+    AccessDone,
+    /// The transaction was aborted and will restart (deadlock victim).
+    Restart,
+    /// The transaction committed; the span is complete.
+    Committed,
+}
+
+/// Receiver of kernel and model trace events.
+///
+/// Every method has an empty default body, so an implementation retains
+/// only what it cares about. Implementations must not assume any
+/// particular call order beyond what the emitting model guarantees.
+pub trait Probe {
+    /// `false` for [`NoProbe`]. Instrumentation sites guard
+    /// argument computation that is not free (hash-map walks, ratios)
+    /// behind this constant so disabled probes pay nothing at all.
+    const ENABLED: bool = true;
+
+    /// An event was scheduled at instant `at` (current instant `now`).
+    fn on_schedule(&mut self, now: f64, at: f64) {
+        let _ = (now, at);
+    }
+
+    /// An event is about to be dispatched at `now`; `pending` events
+    /// remain in the list after this one.
+    fn on_dispatch(&mut self, now: f64, pending: usize) {
+        let _ = (now, pending);
+    }
+
+    /// A request on `resource` found no free unit and queued;
+    /// `queue_len` waiters are now in line (including this one).
+    fn on_resource_enqueue(&mut self, resource: &str, now: f64, queue_len: usize) {
+        let _ = (resource, now, queue_len);
+    }
+
+    /// A unit of `resource` was granted after `waited_ms` in the queue
+    /// (`0.0` for immediate grants).
+    fn on_resource_grant(&mut self, resource: &str, now: f64, waited_ms: f64) {
+        let _ = (resource, now, waited_ms);
+    }
+
+    /// Transaction `tid` reached lifecycle point `point` at `now`.
+    fn on_span(&mut self, tid: u64, point: SpanPoint, now: f64) {
+        let _ = (tid, point, now);
+    }
+
+    /// The model sampled time series `series` at `now` with `value`.
+    fn on_sample(&mut self, series: &str, now: f64, value: f64) {
+        let _ = (series, now, value);
+    }
+}
+
+/// The do-nothing probe: every hook inlines to nothing, so an
+/// `Engine<M>` (which defaults to this probe) runs the exact pre-hook
+/// event loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+}
+
+/// A probe counting raw hook invocations; handy for tests asserting
+/// *that* instrumentation fires without pulling in the full recorder.
+#[derive(Clone, Debug, Default)]
+pub struct CountingProbe {
+    /// `on_schedule` invocations.
+    pub schedules: u64,
+    /// `on_dispatch` invocations.
+    pub dispatches: u64,
+    /// `on_resource_enqueue` invocations.
+    pub enqueues: u64,
+    /// `on_resource_grant` invocations.
+    pub grants: u64,
+    /// `on_span` invocations.
+    pub spans: u64,
+    /// `on_sample` invocations.
+    pub samples: u64,
+}
+
+impl Probe for CountingProbe {
+    fn on_schedule(&mut self, _now: f64, _at: f64) {
+        self.schedules += 1;
+    }
+    fn on_dispatch(&mut self, _now: f64, _pending: usize) {
+        self.dispatches += 1;
+    }
+    fn on_resource_enqueue(&mut self, _resource: &str, _now: f64, _queue_len: usize) {
+        self.enqueues += 1;
+    }
+    fn on_resource_grant(&mut self, _resource: &str, _now: f64, _waited_ms: f64) {
+        self.grants += 1;
+    }
+    fn on_span(&mut self, _tid: u64, _point: SpanPoint, _now: f64) {
+        self.spans += 1;
+    }
+    fn on_sample(&mut self, _series: &str, _now: f64, _value: f64) {
+        self.samples += 1;
+    }
+}

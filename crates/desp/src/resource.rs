@@ -14,6 +14,7 @@
 //! automatically, mirroring QNAP2's standard station reports.
 
 use crate::engine::Context;
+use crate::probe::Probe;
 use crate::stats::{TimeWeighted, Welford};
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -127,17 +128,17 @@ impl<E> Resource<E> {
 
     /// Requests one unit; `continuation` fires (at the current instant) when
     /// the unit is granted.
-    pub fn request(&mut self, continuation: E, ctx: &mut Context<'_, E>) {
+    pub fn request<P: Probe>(&mut self, continuation: E, ctx: &mut Context<'_, E, P>) {
         self.request_with_priority(continuation, 0, ctx);
     }
 
     /// Requests one unit with a priority (only meaningful under
     /// [`Discipline::Priority`]; higher values are served first).
-    pub fn request_with_priority(
+    pub fn request_with_priority<P: Probe>(
         &mut self,
         continuation: E,
         priority: i64,
-        ctx: &mut Context<'_, E>,
+        ctx: &mut Context<'_, E, P>,
     ) {
         let now = ctx.now();
         if self.busy < self.capacity {
@@ -145,6 +146,10 @@ impl<E> Resource<E> {
             self.grants += 1;
             self.wait.add(0.0);
             self.record_state(now);
+            if P::ENABLED {
+                ctx.probe_mut()
+                    .on_resource_grant(&self.name, now.as_ms(), 0.0);
+            }
             ctx.schedule_now(continuation);
         } else {
             let seq = self.seq;
@@ -156,6 +161,10 @@ impl<E> Resource<E> {
                 seq,
             });
             self.record_state(now);
+            if P::ENABLED {
+                ctx.probe_mut()
+                    .on_resource_enqueue(&self.name, now.as_ms(), self.queue.len());
+            }
         }
     }
 
@@ -201,7 +210,7 @@ impl<E> Resource<E> {
     /// # Panics
     /// Panics if no unit is busy (a release without a matching request is a
     /// model bug).
-    pub fn release(&mut self, ctx: &mut Context<'_, E>) {
+    pub fn release<P: Probe>(&mut self, ctx: &mut Context<'_, E, P>) {
         assert!(self.busy > 0, "release on idle resource '{}'", self.name);
         let now = ctx.now();
         self.busy -= 1;
@@ -209,8 +218,12 @@ impl<E> Resource<E> {
             if let Some(waiter) = self.pop_next() {
                 self.busy += 1;
                 self.grants += 1;
-                self.wait
-                    .add(now.saturating_since(waiter.enqueued_at).as_ms());
+                let waited = now.saturating_since(waiter.enqueued_at).as_ms();
+                self.wait.add(waited);
+                if P::ENABLED {
+                    ctx.probe_mut()
+                        .on_resource_grant(&self.name, now.as_ms(), waited);
+                }
                 ctx.schedule_now(waiter.event);
             }
         }

@@ -128,19 +128,27 @@ impl TimeWeighted {
 
     /// Records that the tracked quantity takes `value` from instant `now`
     /// (in ms) onwards.
+    ///
+    /// Timestamps must be non-decreasing; a `now` earlier than the last
+    /// recorded instant is clamped to it (the update applies "now" in
+    /// accumulator time), so a misbehaving caller can never produce a
+    /// negative weight that silently corrupts the integral.
     pub fn update(&mut self, now: f64, value: f64) {
         if !self.started {
             self.start = now;
             self.started = true;
         } else {
+            let now = now.max(self.last_time);
             self.integral += self.last_value * (now - self.last_time);
         }
-        self.last_time = now;
+        self.last_time = self.last_time.max(now);
         self.last_value = value;
     }
 
-    /// Time-weighted mean over `[start, now]`.
+    /// Time-weighted mean over `[start, now]`. A `now` earlier than the
+    /// last recorded instant is clamped to it (see [`Self::update`]).
     pub fn mean(&self, now: f64) -> f64 {
+        let now = now.max(self.last_time);
         if !self.started || now <= self.start {
             return 0.0;
         }
@@ -458,6 +466,22 @@ mod tests {
         // (0*10 + 2*20 + 1*10)/40 = 50/40
         assert!((mean - 1.25).abs() < 1e-12);
         assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_clamps_backwards_timestamps() {
+        let mut tw = TimeWeighted::new();
+        tw.update(0.0, 4.0); // value 4 on [0, 10)
+        tw.update(10.0, 2.0); // value 2 on [10, 20]
+                              // A non-monotonic update must not produce a negative weight: it
+                              // is applied at the last recorded instant (10) instead of 5.
+        tw.update(5.0, 8.0); // value 8 from 10 onwards
+        let mean = tw.mean(20.0);
+        // (4*10 + 8*10)/20 = 6.0 — the 2.0 segment got zero weight.
+        assert!((mean - 6.0).abs() < 1e-12, "mean {mean}");
+        assert_eq!(tw.current(), 8.0);
+        // Querying the mean before the last update is clamped too.
+        assert!((tw.mean(3.0) - tw.mean(10.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use desp::{
     ConfidenceInterval, Context, Discipline, Engine, Model, RandomStream, Resource, SimTime,
-    Welford, Zipf,
+    TimeWeighted, Welford, Zipf,
 };
 use proptest::prelude::*;
 
@@ -109,6 +109,86 @@ proptest! {
         let var: f64 = samples.iter().map(|&s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
         prop_assert!((acc.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
         prop_assert!((acc.variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+    }
+
+    #[test]
+    fn welford_merge_is_commutative(
+        a in prop::collection::vec(-1e6f64..1e6, 0..120),
+        b in prop::collection::vec(-1e6f64..1e6, 0..120),
+    ) {
+        let of = |xs: &[f64]| {
+            let mut acc = Welford::new();
+            for &x in xs {
+                acc.add(x);
+            }
+            acc
+        };
+        let mut ab = of(&a);
+        ab.merge(&of(&b));
+        let mut ba = of(&b);
+        ba.merge(&of(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() <= 1e-6 * ab.mean().abs().max(1.0));
+        prop_assert!(
+            (ab.variance() - ba.variance()).abs() <= 1e-4 * ab.variance().abs().max(1.0)
+        );
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+    }
+
+    #[test]
+    fn welford_merge_is_associative_and_matches_single_pass(
+        a in prop::collection::vec(-1e6f64..1e6, 0..80),
+        b in prop::collection::vec(-1e6f64..1e6, 0..80),
+        c in prop::collection::vec(-1e6f64..1e6, 0..80),
+    ) {
+        let of = |xs: &[f64]| {
+            let mut acc = Welford::new();
+            for &x in xs {
+                acc.add(x);
+            }
+            acc
+        };
+        // ((a ⋅ b) ⋅ c) vs (a ⋅ (b ⋅ c)).
+        let mut left = of(&a);
+        left.merge(&of(&b));
+        left.merge(&of(&c));
+        let mut bc = of(&b);
+        bc.merge(&of(&c));
+        let mut right = of(&a);
+        right.merge(&bc);
+        // And both vs the single-pass accumulator over the concatenation.
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let single = of(&whole);
+        for merged in [&left, &right] {
+            prop_assert_eq!(merged.count(), single.count());
+            prop_assert!(
+                (merged.mean() - single.mean()).abs() <= 1e-6 * single.mean().abs().max(1.0)
+            );
+            prop_assert!(
+                (merged.variance() - single.variance()).abs()
+                    <= 1e-4 * single.variance().abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn time_weighted_mean_stays_bounded_under_clamping(
+        updates in prop::collection::vec((0u32..10_000, -100f64..100.0), 1..100)
+    ) {
+        // Deliberately unsorted timestamps: the clamp must keep the
+        // time-weighted mean within the value range (a negative weight
+        // would let it escape).
+        let mut tw = TimeWeighted::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(t, v) in &updates {
+            tw.update(t as f64, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mean = tw.mean(10_001.0);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! The unified `voodb` CLI: run, list, and validate declarative scenario
-//! files.
+//! The unified `voodb` CLI: run, trace, analyze, compare, list, and
+//! validate declarative scenario files.
 //!
 //! ```text
-//! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+//! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR] [--trace]
+//! voodb analyze <run-dir>
+//! voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
 //! voodb validate <file.toml>...
 //! voodb list [--dir scenarios]
 //! voodb params
@@ -12,19 +14,30 @@
 //! `run` executes the sweep in parallel (deterministic at any thread
 //! count), prints a per-point summary, and writes
 //! `<out>/<scenario>.csv` + `<out>/<scenario>.json`
-//! (default `target/voodb-out/`). `validate` parses and validates each
-//! file, reporting precise line/column positions for syntax errors.
-//! `params` lists every supported parameter key (all of them sweepable).
+//! (default `target/voodb-out/`); with `--trace` it also records every
+//! job and writes `<out>/<scenario>.trace/` (span JSONL, series CSV,
+//! `summary.json`). `analyze` prints the percentile table of a trace
+//! directory; `compare` diffs two trace directories and exits non-zero
+//! iff a metric regresses beyond the threshold. `validate` parses and
+//! validates each file, reporting precise line/column positions for
+//! syntax errors. `params` lists every supported parameter key (all of
+//! them sweepable), sorted.
 
-use scenario::{run_sweep, write_sweep_reports, RunOptions, Scenario, DEFAULT_OUT_DIR, PARAM_HELP};
+use scenario::{
+    library_listing, params_help_text, run_sweep, run_sweep_traced, write_sweep_reports,
+    write_trace_reports, RunOptions, Scenario, DEFAULT_OUT_DIR,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use vtrace::{RunSummary, TraceAnalysis};
 
 const USAGE: &str = "\
 voodb — declarative VOODB experiments
 
 USAGE:
-    voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+    voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR] [--trace]
+    voodb analyze <run-dir>
+    voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
     voodb validate <file.toml>...
     voodb list [--dir scenarios]
     voodb params
@@ -34,11 +47,16 @@ COMMANDS:
     run        Run a scenario: expand its sweep grid, simulate
                (points x replications) jobs across threads, print the
                per-point summary, and write CSV + JSON reports.
+    analyze    Print the p50/p90/p99/max latency table of a trace
+               directory written by `run --trace`.
+    compare    Diff two trace directories' summary metrics; exits
+               non-zero iff a metric regresses beyond the threshold.
     validate   Parse and validate scenario files (syntax errors carry
                line and column). Exits non-zero on the first failure.
-    list       List the scenario library with name, description, axes.
-    params     List every supported [system]/[database]/[workload] key;
-               each is also a valid sweep axis.
+    list       List the scenario library with name, description, axes
+               (sorted by file name).
+    params     List every supported [system]/[database]/[workload] key,
+               sorted; each is also a valid sweep axis.
 
 OPTIONS (run):
     --threads N   Worker threads (default: one per core). Results are
@@ -46,6 +64,11 @@ OPTIONS (run):
     --reps N      Override [scenario].replications.
     --seed S      Override [scenario].seed.
     --out DIR     Report directory (default: target/voodb-out).
+    --trace       Record every job: transaction spans (JSONL), time
+                  series (CSV) and summary.json under <out>/<name>.trace/.
+
+OPTIONS (compare):
+    --threshold T Relative regression threshold (default 0.10 = 10%).
 ";
 
 fn main() -> ExitCode {
@@ -53,10 +76,12 @@ fn main() -> ExitCode {
     let command = args.first().map(String::as_str);
     match command {
         Some("run") => cmd_run(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("params") => {
-            print_params();
+            print!("{}", params_help_text());
             ExitCode::SUCCESS
         }
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -73,22 +98,29 @@ fn main() -> ExitCode {
 /// `(name, value)` pairs of parsed `--key value` options.
 type Options<'a> = Vec<(&'a str, &'a str)>;
 
-/// Splits `args` into positionals and `--key value` options, validating
-/// option names against `known`.
+/// Splits `args` into positionals, `--key value` options (validated
+/// against `known`), and bare `--flag`s (validated against `flags`).
 fn split_args<'a>(
     args: &'a [String],
     known: &[&str],
-) -> Result<(Vec<&'a str>, Options<'a>), String> {
+    flags: &[&str],
+) -> Result<(Vec<&'a str>, Options<'a>, Vec<&'a str>), String> {
     let mut positionals = Vec::new();
     let mut options = Vec::new();
+    let mut bare = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if flags.contains(&name) {
+                bare.push(name);
+                continue;
+            }
             if !known.contains(&name) {
                 return Err(format!(
                     "unknown option '--{name}' (known: {})",
                     known
                         .iter()
+                        .chain(flags)
                         .map(|k| format!("--{k}"))
                         .collect::<Vec<_>>()
                         .join(", ")
@@ -102,7 +134,7 @@ fn split_args<'a>(
             positionals.push(arg.as_str());
         }
     }
-    Ok((positionals, options))
+    Ok((positionals, options, bare))
 }
 
 fn parse_opt<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
@@ -121,13 +153,15 @@ fn fail(message: &str) -> ExitCode {
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let (files, options) = match split_args(args, &["threads", "reps", "seed", "out"]) {
-        Ok(split) => split,
-        Err(e) => return fail(&e),
-    };
+    let (files, options, flags) =
+        match split_args(args, &["threads", "reps", "seed", "out"], &["trace"]) {
+            Ok(split) => split,
+            Err(e) => return fail(&e),
+        };
     let [file] = files[..] else {
         return fail("'run' takes exactly one scenario file");
     };
+    let trace = flags.contains(&"trace");
     let mut run_options = RunOptions::default();
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
     for (name, raw) in options {
@@ -152,23 +186,93 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let grid = scenario.grid().len();
     let reps = run_options.reps.unwrap_or(scenario.replications);
     println!(
-        "running '{}': {grid} sweep point{} x {reps} replication{}",
+        "running '{}': {grid} sweep point{} x {reps} replication{}{}",
         scenario.name,
         if grid == 1 { "" } else { "s" },
         if reps == 1 { "" } else { "s" },
+        if trace { " (traced)" } else { "" },
     );
-    let result = match run_sweep(&scenario, &run_options) {
-        Ok(r) => r,
-        Err(e) => return fail(&e),
+    let (result, traces) = if trace {
+        match run_sweep_traced(&scenario, &run_options) {
+            Ok((result, traces)) => (result, Some(traces)),
+            Err(e) => return fail(&e),
+        }
+    } else {
+        match run_sweep(&scenario, &run_options) {
+            Ok(result) => (result, None),
+            Err(e) => return fail(&e),
+        }
     };
     print_summary(&result);
     match write_sweep_reports(&result, &out_dir) {
         Ok((csv, json)) => {
             println!("wrote {}", csv.display());
             println!("wrote {}", json.display());
+        }
+        Err(e) => return fail(&e),
+    }
+    if let Some(traces) = traces {
+        match write_trace_reports(&result, &traces, &out_dir) {
+            Ok(dir) => {
+                let spans: usize = traces.iter().map(|t| t.recorder.spans().len()).sum();
+                println!(
+                    "wrote {} ({} trace jobs, {spans} spans) — inspect with `voodb analyze {}`",
+                    dir.display(),
+                    traces.len(),
+                    dir.display()
+                );
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let (dirs, _, _) = match split_args(args, &[], &[]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    let [dir] = dirs[..] else {
+        return fail("'analyze' takes exactly one trace directory");
+    };
+    match TraceAnalysis::load(Path::new(dir)) {
+        Ok(analysis) => {
+            print!("{}", analysis.render());
             ExitCode::SUCCESS
         }
         Err(e) => fail(&e),
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let (dirs, options, _) = match split_args(args, &["threshold"], &[]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    let [dir_a, dir_b] = dirs[..] else {
+        return fail("'compare' takes exactly two trace directories");
+    };
+    let mut threshold = 0.10f64;
+    for (name, raw) in options {
+        match parse_opt::<f64>(name, raw) {
+            Ok(v) if v >= 0.0 => threshold = v,
+            Ok(_) => return fail("--threshold must be non-negative"),
+            Err(e) => return fail(&e),
+        }
+    }
+    let load_summary = |dir: &str| RunSummary::load(Path::new(dir));
+    let (a, b) = match (load_summary(dir_a), load_summary(dir_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let report = vtrace::compare(&a, &b, threshold);
+    print!("{}", report.render());
+    if report.regressions > 0 {
+        // Distinct from the generic-error exit code 1.
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -204,7 +308,7 @@ fn print_summary(result: &scenario::SweepResult) {
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {
-    let (files, _) = match split_args(args, &[]) {
+    let (files, _, _) = match split_args(args, &[], &[]) {
         Ok(split) => split,
         Err(e) => return fail(&e),
     };
@@ -235,7 +339,7 @@ fn cmd_validate(args: &[String]) -> ExitCode {
 }
 
 fn cmd_list(args: &[String]) -> ExitCode {
-    let (positionals, options) = match split_args(args, &["dir"]) {
+    let (positionals, options, _) = match split_args(args, &["dir"], &[]) {
         Ok(split) => split,
         Err(e) => return fail(&e),
     };
@@ -247,53 +351,11 @@ fn cmd_list(args: &[String]) -> ExitCode {
         .find(|(name, _)| *name == "dir")
         .map(|(_, v)| Path::new(*v))
         .unwrap_or(Path::new("scenarios"));
-    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
-            .collect(),
-        Err(e) => return fail(&format!("{}: {e}", dir.display())),
-    };
-    entries.sort();
-    if entries.is_empty() {
-        println!("no .toml scenarios under {}", dir.display());
-        return ExitCode::SUCCESS;
-    }
-    for path in entries {
-        match load(&path.to_string_lossy()) {
-            Ok(scenario) => {
-                let axes: Vec<&str> = scenario.sweep.iter().map(|a| a.param.as_str()).collect();
-                println!(
-                    "{:<28} {} [{} x{} reps] sweeps: {}",
-                    path.file_name().unwrap_or_default().to_string_lossy(),
-                    scenario.description,
-                    scenario.grid().len(),
-                    scenario.replications,
-                    if axes.is_empty() {
-                        "none".to_owned()
-                    } else {
-                        axes.join(", ")
-                    },
-                );
-            }
-            Err(e) => println!(
-                "{:<28} INVALID: {e}",
-                path.file_name().unwrap_or_default().to_string_lossy()
-            ),
+    match library_listing(dir) {
+        Ok(listing) => {
+            print!("{listing}");
+            ExitCode::SUCCESS
         }
-    }
-    ExitCode::SUCCESS
-}
-
-fn print_params() {
-    println!("Supported scenario parameters (every key is also a valid sweep axis):\n");
-    let mut last_section = "";
-    for (key, expected, meaning) in PARAM_HELP {
-        let section = key.split('.').next().unwrap_or("");
-        if section != last_section {
-            println!("[{section}]");
-            last_section = section;
-        }
-        println!("  {key:<36} {expected:<10} {meaning}");
+        Err(e) => fail(&e),
     }
 }

@@ -41,7 +41,12 @@
 //!   count**;
 //! * [`report`] — deterministic CSV/JSON writers
 //!   (`target/voodb-out/<scenario>.{csv,json}`), also reused by the
-//!   bench harness for its figure artifacts.
+//!   bench harness for its figure artifacts;
+//! * [`tracing`] — `--trace` support: runs every job under a
+//!   `voodb-trace` recorder and writes the trace directory
+//!   (`<scenario>.trace/` with span JSONL, series CSV and
+//!   `summary.json`) that `voodb analyze` / `voodb compare` consume;
+//! * [`listing`] — the deterministic `voodb list` rendering.
 //!
 //! The `scenarios/` directory at the workspace root ships presets
 //! mirroring the paper's experiments plus new workloads (see
@@ -49,12 +54,19 @@
 
 #![warn(missing_docs)]
 
+pub mod listing;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml;
+pub mod tracing;
 
+pub use listing::library_listing;
 pub use report::{sweep_table, write_sweep_reports, Cell, ReportTable, DEFAULT_OUT_DIR};
-pub use runner::{run_sweep, MetricEstimate, PointSummary, RunOptions, SweepResult, CONFIDENCE};
-pub use spec::{apply_param, Scenario, SweepAxis, SweepPoint, PARAM_HELP};
+pub use runner::{
+    run_sweep, run_sweep_traced, JobTrace, MetricEstimate, PointSummary, RunOptions, SweepResult,
+    CONFIDENCE,
+};
+pub use spec::{apply_param, params_help_text, Scenario, SweepAxis, SweepPoint, PARAM_HELP};
 pub use toml::{parse, serialize, Table, TomlError, Value};
+pub use tracing::{job_metrics, trace_dir_for, write_trace_reports};

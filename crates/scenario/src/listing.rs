@@ -1,0 +1,89 @@
+//! The `voodb list` rendering.
+//!
+//! Factored out of the CLI binary so the output is testable: the golden
+//! test pins the listing of the shipped `scenarios/` library, which
+//! keeps the ordering deterministic (sorted by file name, never
+//! directory order) and catches accidental preset drift.
+
+use crate::spec::Scenario;
+use std::path::{Path, PathBuf};
+
+/// Renders the scenario library under `dir`, one line per `.toml` file,
+/// sorted by file name. Unparsable files render as `INVALID` lines
+/// rather than failing the listing.
+///
+/// # Errors
+/// Returns an error only when `dir` itself cannot be read.
+pub fn library_listing(dir: &Path) -> Result<String, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    entries.sort_by_key(|p| p.file_name().map(|n| n.to_os_string()));
+    if entries.is_empty() {
+        return Ok(format!("no .toml scenarios under {}\n", dir.display()));
+    }
+    let mut out = String::new();
+    for path in entries {
+        let file = path.file_name().unwrap_or_default().to_string_lossy();
+        let line = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Scenario::parse(&text))
+        {
+            Ok(scenario) => {
+                let axes: Vec<&str> = scenario.sweep.iter().map(|a| a.param.as_str()).collect();
+                format!(
+                    "{:<28} {} [{} x{} reps] sweeps: {}",
+                    file,
+                    scenario.description,
+                    scenario.grid().len(),
+                    scenario.replications,
+                    if axes.is_empty() {
+                        "none".to_owned()
+                    } else {
+                        axes.join(", ")
+                    },
+                )
+            }
+            Err(e) => format!("{file:<28} INVALID: {e}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_is_sorted_and_flags_invalid_files() {
+        let dir = std::env::temp_dir().join(format!("voodb-listing-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("b_ok.toml"),
+            "[scenario]\nname = \"b_ok\"\ndescription = \"fine\"\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("a_bad.toml"), "not toml at all [").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "skipped").unwrap();
+        let listing = library_listing(&dir).unwrap();
+        let lines: Vec<&str> = listing.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a_bad.toml"), "{listing}");
+        assert!(lines[0].contains("INVALID"), "{listing}");
+        assert!(lines[1].starts_with("b_ok.toml"), "{listing}");
+        assert!(lines[1].contains("fine"), "{listing}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory_reports_nothing_found() {
+        let dir = std::env::temp_dir().join(format!("voodb-listing-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(library_listing(&dir).unwrap().contains("no .toml"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -26,11 +26,12 @@
 //! output for `threads = 1` vs `threads = 8`.
 
 use crate::spec::{Scenario, SweepPoint};
-use desp::ConfidenceInterval;
+use desp::{ConfidenceInterval, NoProbe, Probe};
 use ocb::{ObjectBase, WorkloadGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use voodb::{PhaseResult, Simulation};
+use vtrace::TraceRecorder;
 
 /// Salt decorrelating workload seeds from database seeds (the same
 /// constant the bench harness uses, so scenario runs are comparable).
@@ -114,6 +115,18 @@ pub fn replication_seed(point_seed: u64, rep: usize) -> u64 {
 /// the transaction stream from the replication seed, execute the cold
 /// then the measured run through the VOODB model.
 pub fn run_replication(base: &ObjectBase, point: &SweepPoint, seed: u64) -> PhaseResult {
+    run_replication_probed(base, point, seed, NoProbe).0
+}
+
+/// [`run_replication`] with a trace probe attached. Probes only
+/// observe, so the [`PhaseResult`] is bit-identical to the untraced run
+/// (asserted by the runner tests).
+pub fn run_replication_probed<P: Probe>(
+    base: &ObjectBase,
+    point: &SweepPoint,
+    seed: u64,
+    probe: P,
+) -> (PhaseResult, P) {
     let workload = &point.config.workload;
     let mut generator = WorkloadGenerator::new(base, workload.clone(), seed ^ WORKLOAD_SEED_SALT);
     let (cold, hot) = generator.generate_run();
@@ -126,7 +139,22 @@ pub fn run_replication(base: &ObjectBase, point: &SweepPoint, seed: u64) -> Phas
         workload.think_time_ms,
         seed,
     );
-    simulation.run_phase(transactions, cold_count)
+    simulation.run_phase_probed(transactions, cold_count, probe)
+}
+
+/// The telemetry of one traced (point × replication) job.
+#[derive(Clone, Debug)]
+pub struct JobTrace {
+    /// Sweep-point index.
+    pub point: usize,
+    /// Replication index within the point.
+    pub rep: usize,
+    /// Human label of the sweep point.
+    pub label: String,
+    /// The job's phase result (identical to the untraced run).
+    pub result: PhaseResult,
+    /// The recorded spans, histograms and series.
+    pub recorder: TraceRecorder,
 }
 
 /// Runs the whole sweep. See the module docs for the determinism
@@ -135,6 +163,52 @@ pub fn run_replication(base: &ObjectBase, point: &SweepPoint, seed: u64) -> Phas
 /// # Errors
 /// Returns the first validation error; the run itself cannot fail.
 pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResult, String> {
+    let (result, _probes) = run_sweep_probed(scenario, options, || NoProbe)?;
+    Ok(result)
+}
+
+/// Runs the whole sweep with a [`TraceRecorder`] on every job,
+/// returning the aggregated result plus one [`JobTrace`] per
+/// (point × replication) in job order. The [`SweepResult`] is identical
+/// to an untraced [`run_sweep`].
+///
+/// # Errors
+/// Returns the first validation error.
+pub fn run_sweep_traced(
+    scenario: &Scenario,
+    options: &RunOptions,
+) -> Result<(SweepResult, Vec<JobTrace>), String> {
+    let (result, probes) = run_sweep_probed(scenario, options, TraceRecorder::new)?;
+    let reps = result.replications;
+    let traces = probes
+        .into_iter()
+        .enumerate()
+        .map(|(job, (phase, recorder))| {
+            let point = job / reps;
+            JobTrace {
+                point,
+                rep: job % reps,
+                label: result.points[point].label.clone(),
+                result: phase,
+                recorder,
+            }
+        })
+        .collect();
+    Ok((result, traces))
+}
+
+/// The generic sweep engine behind [`run_sweep`] / [`run_sweep_traced`]:
+/// shards the (point × replication) job grid over scoped threads,
+/// attaching a fresh probe from `make_probe` to every job.
+fn run_sweep_probed<P, F>(
+    scenario: &Scenario,
+    options: &RunOptions,
+    make_probe: F,
+) -> Result<(SweepResult, Vec<(PhaseResult, P)>), String>
+where
+    P: Probe + Send,
+    F: Fn() -> P + Sync,
+{
     let mut scenario = scenario.clone();
     if let Some(reps) = options.reps {
         scenario.replications = reps;
@@ -159,7 +233,7 @@ pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResul
 
     // Per-point lazily generated object bases and per-job result slots.
     let bases: Vec<OnceLock<ObjectBase>> = (0..grid.len()).map(|_| OnceLock::new()).collect();
-    let slots: Vec<Mutex<Option<PhaseResult>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(PhaseResult, P)>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -173,12 +247,13 @@ pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResul
                 let p_seed = point_seed(base_seed, p);
                 let base =
                     bases[p].get_or_init(|| ObjectBase::generate(&point.config.database, p_seed));
-                let result = run_replication(base, point, replication_seed(p_seed, r));
+                let result =
+                    run_replication_probed(base, point, replication_seed(p_seed, r), make_probe());
                 *slots[job].lock().expect("job slot poisoned") = Some(result);
             });
         }
     });
-    let results: Vec<PhaseResult> = slots
+    let outcomes: Vec<(PhaseResult, P)> = slots
         .into_iter()
         .map(|s| {
             s.into_inner()
@@ -186,6 +261,7 @@ pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResul
                 .expect("every job ran")
         })
         .collect();
+    let results: Vec<&PhaseResult> = outcomes.iter().map(|(result, _)| result).collect();
 
     // Aggregate replications into per-metric estimates, in index order.
     let points = grid
@@ -225,14 +301,15 @@ pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResul
             }
         })
         .collect();
-    Ok(SweepResult {
+    let result = SweepResult {
         scenario: scenario.name.clone(),
         description: scenario.description.clone(),
         replications: reps,
         seed: base_seed,
         axes: scenario.sweep.iter().map(|a| a.param.clone()).collect(),
         points,
-    })
+    };
+    Ok((result, outcomes))
 }
 
 #[cfg(test)]

@@ -638,6 +638,27 @@ pub const PARAM_HELP: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Renders [`PARAM_HELP`] as the `voodb params` listing: keys sorted
+/// lexicographically (which groups the `[database]`/`[system]`/
+/// `[workload]` sections), one section header per prefix. Deterministic
+/// by construction; pinned by the CLI golden test.
+pub fn params_help_text() -> String {
+    let mut entries: Vec<&(&str, &str, &str)> = PARAM_HELP.iter().collect();
+    entries.sort_by_key(|(key, _, _)| *key);
+    let mut out =
+        String::from("Supported scenario parameters (every key is also a valid sweep axis):\n");
+    let mut last_section = "";
+    for (key, expected, meaning) in entries {
+        let section = key.split('.').next().unwrap_or("");
+        if section != last_section {
+            out.push_str(&format!("\n[{section}]\n"));
+            last_section = section;
+        }
+        out.push_str(&format!("  {key:<36} {expected:<10} {meaning}\n"));
+    }
+    out
+}
+
 /// Applies one dotted-key parameter to an [`ExperimentConfig`]. The same
 /// keys work in the `[system]`/`[database]`/`[workload]` sections and as
 /// sweep-axis `param`s.

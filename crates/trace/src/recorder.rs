@@ -1,0 +1,439 @@
+//! The recording probe: assembles transaction lifecycle spans and feeds
+//! the latency histograms and time-series samplers.
+//!
+//! A [`TraceRecorder`] plugs into `desp::Engine::with_probe` and
+//! receives every kernel hook and model emission:
+//!
+//! * [`SpanPoint`] streams keyed by transaction id are folded into
+//!   [`SpanRecord`]s — one per committed transaction, splitting the
+//!   response time into admission wait, lock wait, CPU, disk wait, disk
+//!   service and network time;
+//! * per-stage [`Histogram`]s accumulate the same durations across
+//!   spans (the p50/p90/p99 tables of `voodb analyze`);
+//! * resource waits and model samples land in per-name histograms and
+//!   bounded [`TimeSeries`];
+//! * dispatch/schedule counts measure raw engine activity, with the
+//!   pending-event count sampled once every
+//!   [`TraceRecorder::DISPATCH_SAMPLE_EVERY`] dispatches.
+//!
+//! Recording never perturbs the simulation: the recorder only observes,
+//! so a traced replication produces bit-identical results to an
+//! untraced one (asserted by the scenario-runner tests).
+
+use crate::hist::Histogram;
+use crate::series::TimeSeries;
+use desp::{Probe, SpanPoint};
+use std::collections::{BTreeMap, HashMap};
+
+/// One committed transaction's lifecycle, in simulated milliseconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanRecord {
+    /// Transaction id (unique within one phase).
+    pub tid: u64,
+    /// Submission instant.
+    pub submit_ms: f64,
+    /// Commit instant.
+    pub end_ms: f64,
+    /// End-to-end response time (`end − submit`).
+    pub response_ms: f64,
+    /// Wait for an MPL scheduler slot.
+    pub admission_wait_ms: f64,
+    /// Total time parked waiting for locks.
+    pub lock_wait_ms: f64,
+    /// Total CPU holding time (lock acquisition/release bookkeeping).
+    pub cpu_ms: f64,
+    /// Total wait for the disk resource.
+    pub disk_wait_ms: f64,
+    /// Total disk service time.
+    pub disk_service_ms: f64,
+    /// Total wait for the network resource.
+    pub net_wait_ms: f64,
+    /// Total network transfer time.
+    pub net_service_ms: f64,
+    /// Object accesses performed.
+    pub accesses: u64,
+    /// Deadlock restarts suffered.
+    pub restarts: u64,
+}
+
+/// In-flight span state; folded into a [`SpanRecord`] on `Committed`.
+#[derive(Clone, Debug, Default)]
+struct OpenSpan {
+    record: SpanRecord,
+    admitted: bool,
+    lock_req: Option<f64>,
+    cpu_start: Option<f64>,
+    disk_req: Option<f64>,
+    disk_start: Option<f64>,
+    net_req: Option<f64>,
+    net_start: Option<f64>,
+}
+
+/// The per-stage histogram names, in report order. Each is a field of
+/// [`SpanRecord`]; `stage_of` maps records to values.
+pub const STAGE_METRICS: &[&str] = &[
+    "response_ms",
+    "admission_wait_ms",
+    "lock_wait_ms",
+    "cpu_ms",
+    "disk_wait_ms",
+    "disk_service_ms",
+    "net_wait_ms",
+    "net_service_ms",
+];
+
+/// Extracts the named stage duration from a span record.
+///
+/// # Panics
+/// Panics on a name outside [`STAGE_METRICS`].
+pub fn stage_of(record: &SpanRecord, metric: &str) -> f64 {
+    match metric {
+        "response_ms" => record.response_ms,
+        "admission_wait_ms" => record.admission_wait_ms,
+        "lock_wait_ms" => record.lock_wait_ms,
+        "cpu_ms" => record.cpu_ms,
+        "disk_wait_ms" => record.disk_wait_ms,
+        "disk_service_ms" => record.disk_service_ms,
+        "net_wait_ms" => record.net_wait_ms,
+        "net_service_ms" => record.net_service_ms,
+        other => panic!("unknown stage metric '{other}'"),
+    }
+}
+
+/// A recording [`Probe`]: spans, histograms, series and counters.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    open: HashMap<u64, OpenSpan>,
+    finished: Vec<SpanRecord>,
+    /// Per-stage histograms, one per [`STAGE_METRICS`] entry
+    /// (pre-created so the commit path never allocates keys).
+    stage_hists: BTreeMap<String, Histogram>,
+    /// Queueing delay per resource name.
+    resource_waits: BTreeMap<String, Histogram>,
+    /// Model-emitted series plus the engine's `pending_events`.
+    series: BTreeMap<String, TimeSeries>,
+    events_dispatched: u64,
+    events_scheduled: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// `pending_events` is sampled once per this many dispatches.
+    pub const DISPATCH_SAMPLE_EVERY: u64 = 64;
+
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        TraceRecorder {
+            open: HashMap::new(),
+            finished: Vec::new(),
+            stage_hists: STAGE_METRICS
+                .iter()
+                .map(|&metric| (metric.to_owned(), Histogram::new()))
+                .collect(),
+            resource_waits: BTreeMap::new(),
+            series: BTreeMap::new(),
+            events_dispatched: 0,
+            events_scheduled: 0,
+        }
+    }
+
+    /// Committed spans, in commit order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.finished
+    }
+
+    /// Transactions submitted but not yet committed (non-empty only when
+    /// a run was cut short).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The per-stage histograms ([`STAGE_METRICS`] keys; a stage no span
+    /// exercised has count 0).
+    pub fn stage_histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.stage_hists
+    }
+
+    /// Queueing-delay histogram per resource name.
+    pub fn resource_waits(&self) -> &BTreeMap<String, Histogram> {
+        &self.resource_waits
+    }
+
+    /// The recorded time series, by name.
+    pub fn series(&self) -> &BTreeMap<String, TimeSeries> {
+        &self.series
+    }
+
+    /// Events dispatched while recording.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Events scheduled while recording.
+    pub fn events_scheduled(&self) -> u64 {
+        self.events_scheduled
+    }
+
+    fn span(&mut self, tid: u64) -> &mut OpenSpan {
+        self.open.entry(tid).or_default()
+    }
+
+    fn finalize(&mut self, tid: u64, now: f64) {
+        let Some(mut open) = self.open.remove(&tid) else {
+            return; // Committed without Submit: nothing recorded.
+        };
+        // Close a CPU hold the model did not bracket (commit-time
+        // releases schedule Committed directly).
+        if let Some(start) = open.cpu_start.take() {
+            open.record.cpu_ms += now - start;
+        }
+        let mut record = open.record;
+        record.tid = tid;
+        record.end_ms = now;
+        record.response_ms = now - record.submit_ms;
+        for (metric, hist) in &mut self.stage_hists {
+            hist.record(stage_of(&record, metric));
+        }
+        self.finished.push(record);
+    }
+}
+
+impl Probe for TraceRecorder {
+    fn on_schedule(&mut self, _now: f64, _at: f64) {
+        self.events_scheduled += 1;
+    }
+
+    fn on_dispatch(&mut self, now: f64, pending: usize) {
+        self.events_dispatched += 1;
+        if self
+            .events_dispatched
+            .is_multiple_of(Self::DISPATCH_SAMPLE_EVERY)
+        {
+            sample_into(&mut self.series, "pending_events", now, pending as f64);
+        }
+    }
+
+    fn on_resource_enqueue(&mut self, resource: &str, now: f64, queue_len: usize) {
+        // Allocating the composite key only on first sight keeps the
+        // queueing path allocation-free at steady state.
+        if let Some(series) = self
+            .series
+            .iter_mut()
+            .find(|(name, _)| name.strip_prefix("queue:") == Some(resource))
+            .map(|(_, series)| series)
+        {
+            series.record(now, queue_len as f64);
+        } else {
+            let name = format!("queue:{resource}");
+            let mut series = TimeSeries::new(name.clone());
+            series.record(now, queue_len as f64);
+            self.series.insert(name, series);
+        }
+    }
+
+    fn on_resource_grant(&mut self, resource: &str, _now: f64, waited_ms: f64) {
+        if let Some(hist) = self.resource_waits.get_mut(resource) {
+            hist.record(waited_ms);
+        } else {
+            let mut hist = Histogram::new();
+            hist.record(waited_ms);
+            self.resource_waits.insert(resource.to_owned(), hist);
+        }
+    }
+
+    fn on_span(&mut self, tid: u64, point: SpanPoint, now: f64) {
+        // Only `Submit` opens a span; points for a tid that never
+        // submitted (a partial or foreign event stream) are dropped
+        // rather than fabricating a phantom span.
+        if point == SpanPoint::Submit {
+            self.span(tid).record.submit_ms = now;
+            return;
+        }
+        if point == SpanPoint::Committed {
+            self.finalize(tid, now);
+            return;
+        }
+        let Some(span) = self.open.get_mut(&tid) else {
+            return;
+        };
+        match point {
+            SpanPoint::Submit | SpanPoint::Committed => unreachable!("handled above"),
+            SpanPoint::Admitted => {
+                if !span.admitted {
+                    span.admitted = true;
+                    span.record.admission_wait_ms = now - span.record.submit_ms;
+                }
+            }
+            SpanPoint::LockRequest => span.lock_req = Some(now),
+            SpanPoint::LockGranted => {
+                if let Some(at) = span.lock_req.take() {
+                    span.record.lock_wait_ms += now - at;
+                }
+            }
+            SpanPoint::CpuStart => span.cpu_start = Some(now),
+            SpanPoint::CpuEnd => {
+                if let Some(at) = span.cpu_start.take() {
+                    span.record.cpu_ms += now - at;
+                }
+            }
+            SpanPoint::DiskRequest => span.disk_req = Some(now),
+            SpanPoint::DiskStart => {
+                if let Some(at) = span.disk_req.take() {
+                    span.record.disk_wait_ms += now - at;
+                }
+                span.disk_start = Some(now);
+            }
+            SpanPoint::DiskEnd => {
+                if let Some(at) = span.disk_start.take() {
+                    span.record.disk_service_ms += now - at;
+                }
+            }
+            SpanPoint::NetRequest => span.net_req = Some(now),
+            SpanPoint::NetStart => {
+                if let Some(at) = span.net_req.take() {
+                    span.record.net_wait_ms += now - at;
+                }
+                span.net_start = Some(now);
+            }
+            SpanPoint::NetEnd => {
+                if let Some(at) = span.net_start.take() {
+                    span.record.net_service_ms += now - at;
+                }
+            }
+            SpanPoint::AccessDone => span.record.accesses += 1,
+            SpanPoint::Restart => {
+                span.record.restarts += 1;
+                // The victim dropped everything it held or waited for.
+                span.lock_req = None;
+                span.cpu_start = None;
+                span.disk_req = None;
+                span.disk_start = None;
+                span.net_req = None;
+                span.net_start = None;
+            }
+        }
+    }
+
+    fn on_sample(&mut self, series: &str, now: f64, value: f64) {
+        sample_into(&mut self.series, series, now, value);
+    }
+}
+
+/// Records into the named series, allocating the key only on first
+/// sight (the hot path is a borrowed-key lookup).
+fn sample_into(series_map: &mut BTreeMap<String, TimeSeries>, name: &str, now: f64, value: f64) {
+    if let Some(series) = series_map.get_mut(name) {
+        series.record(now, value);
+    } else {
+        let mut series = TimeSeries::new(name);
+        series.record(now, value);
+        series_map.insert(name.to_owned(), series);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit(r: &mut TraceRecorder, tid: u64, point: SpanPoint, now: f64) {
+        r.on_span(tid, point, now);
+    }
+
+    #[test]
+    fn one_span_decomposes_response_time() {
+        let mut r = TraceRecorder::new();
+        emit(&mut r, 1, SpanPoint::Submit, 0.0);
+        emit(&mut r, 1, SpanPoint::Admitted, 2.0);
+        emit(&mut r, 1, SpanPoint::LockRequest, 2.0);
+        emit(&mut r, 1, SpanPoint::LockGranted, 5.0);
+        emit(&mut r, 1, SpanPoint::CpuStart, 5.0);
+        emit(&mut r, 1, SpanPoint::CpuEnd, 6.0);
+        emit(&mut r, 1, SpanPoint::DiskRequest, 6.0);
+        emit(&mut r, 1, SpanPoint::DiskStart, 8.0);
+        emit(&mut r, 1, SpanPoint::DiskEnd, 18.0);
+        emit(&mut r, 1, SpanPoint::NetRequest, 18.0);
+        emit(&mut r, 1, SpanPoint::NetStart, 18.0);
+        emit(&mut r, 1, SpanPoint::NetEnd, 21.0);
+        emit(&mut r, 1, SpanPoint::AccessDone, 21.0);
+        emit(&mut r, 1, SpanPoint::Committed, 22.0);
+
+        assert_eq!(r.spans().len(), 1);
+        let s = &r.spans()[0];
+        assert_eq!(s.tid, 1);
+        assert_eq!(s.response_ms, 22.0);
+        assert_eq!(s.admission_wait_ms, 2.0);
+        assert_eq!(s.lock_wait_ms, 3.0);
+        assert_eq!(s.cpu_ms, 1.0);
+        assert_eq!(s.disk_wait_ms, 2.0);
+        assert_eq!(s.disk_service_ms, 10.0);
+        assert_eq!(s.net_wait_ms, 0.0);
+        assert_eq!(s.net_service_ms, 3.0);
+        assert_eq!(s.accesses, 1);
+        assert_eq!(r.open_spans(), 0);
+        let resp = &r.stage_histograms()["response_ms"];
+        assert_eq!(resp.count(), 1);
+        assert!(resp.p50() >= 22.0);
+    }
+
+    #[test]
+    fn restart_clears_open_marks() {
+        let mut r = TraceRecorder::new();
+        emit(&mut r, 3, SpanPoint::Submit, 0.0);
+        emit(&mut r, 3, SpanPoint::Admitted, 0.0);
+        emit(&mut r, 3, SpanPoint::LockRequest, 1.0);
+        emit(&mut r, 3, SpanPoint::Restart, 4.0);
+        emit(&mut r, 3, SpanPoint::LockRequest, 6.0);
+        emit(&mut r, 3, SpanPoint::LockGranted, 7.0);
+        emit(&mut r, 3, SpanPoint::Committed, 9.0);
+        let s = &r.spans()[0];
+        // Only the post-restart wait counts (the first request was
+        // abandoned, not granted).
+        assert_eq!(s.lock_wait_ms, 1.0);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.response_ms, 9.0);
+    }
+
+    #[test]
+    fn points_without_submit_are_dropped() {
+        let mut r = TraceRecorder::new();
+        // A foreign/partial stream: no Submit for tid 9.
+        emit(&mut r, 9, SpanPoint::Admitted, 1.0);
+        emit(&mut r, 9, SpanPoint::AccessDone, 2.0);
+        emit(&mut r, 9, SpanPoint::Committed, 3.0);
+        assert_eq!(r.spans().len(), 0, "no phantom span");
+        assert_eq!(r.open_spans(), 0, "no lingering open span");
+        assert_eq!(r.stage_histograms()["response_ms"].count(), 0);
+    }
+
+    #[test]
+    fn resource_and_sample_hooks_accumulate() {
+        let mut r = TraceRecorder::new();
+        r.on_resource_grant("disk-0", 1.0, 0.0);
+        r.on_resource_enqueue("disk-0", 2.0, 1);
+        r.on_resource_grant("disk-0", 5.0, 3.0);
+        r.on_sample("hit_ratio", 10.0, 0.75);
+        r.on_sample("hit_ratio", 20.0, 0.85);
+        assert_eq!(r.resource_waits()["disk-0"].count(), 2);
+        assert_eq!(r.series()["queue:disk-0"].samples().len(), 1);
+        assert_eq!(r.series()["hit_ratio"].current(), 0.85);
+    }
+
+    #[test]
+    fn dispatch_sampling_is_decimated() {
+        let mut r = TraceRecorder::new();
+        for i in 0..256 {
+            r.on_dispatch(i as f64, 10);
+        }
+        assert_eq!(r.events_dispatched(), 256);
+        let pending = &r.series()["pending_events"];
+        assert_eq!(
+            pending.offered(),
+            256 / TraceRecorder::DISPATCH_SAMPLE_EVERY
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`oostore`] | Miniature *real* engines standing in for O2 / Texas (§4.2.1) |
 //! | [`voodb`] | The generic evaluation model itself (§3) |
 //! | [`scenario`] | Declarative experiment specs, the parallel sweep runner, and the `voodb` CLI |
+//! | [`vtrace`] | Telemetry: trace recorder, latency histograms, time-series, `voodb analyze`/`compare` |
 //!
 //! See `examples/` for runnable studies, `crates/bench` for the harness
 //! that regenerates every table and figure of the paper's evaluation, and
@@ -24,3 +25,4 @@ pub use ocb;
 pub use oostore;
 pub use scenario;
 pub use voodb;
+pub use vtrace;
