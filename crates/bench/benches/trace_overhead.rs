@@ -11,15 +11,22 @@
 //! * `noop` vs `recorder` — the cost of full span/histogram/series
 //!   recording, the price of `voodb run --trace`.
 //!
+//! The `heap_sched` variants run the identical workload on the binary
+//! heap instead of the default calendar queue, so this bench also
+//! records the scheduler speedup alongside the hook overhead.
+//!
 //! The acceptance bar (no-op overhead < 2% of engine throughput) is
 //! checked numerically by the `engine_bench` binary, which emits
 //! `BENCH_engine.json` in CI smoke mode.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use desp::{Context, CountingProbe, Engine, Model, Probe, Resource, SpanPoint};
+use desp::{
+    Context, CountingProbe, Engine, HeapKind, Model, NoProbe, Probe, QueueKind, Resource,
+    SchedulerKind, SpanPoint,
+};
 use ocb::{DatabaseParams, WorkloadParams};
 use std::hint::black_box;
-use voodb::{run_once_probed, ExperimentConfig, VoodbParams};
+use voodb::{run_once_probed, run_once_sched, ExperimentConfig, VoodbParams};
 use vtrace::TraceRecorder;
 
 /// A tandem queue exercising every hook kind: arrivals contend for a
@@ -38,12 +45,12 @@ enum Ev {
     Finish(u64),
 }
 
-impl<P: Probe> Model<P> for Tandem {
+impl<P: Probe, Q: QueueKind> Model<P, Q> for Tandem {
     type Event = Ev;
-    fn init(&mut self, ctx: &mut Context<'_, Ev, P>) {
+    fn init(&mut self, ctx: &mut Context<'_, Ev, P, Q>) {
         ctx.schedule(0.0, Ev::Arrive);
     }
-    fn handle(&mut self, ev: Ev, ctx: &mut Context<'_, Ev, P>) {
+    fn handle(&mut self, ev: Ev, ctx: &mut Context<'_, Ev, P, Q>) {
         match ev {
             Ev::Arrive => {
                 let id = self.next_id;
@@ -92,6 +99,14 @@ fn bench_hook_overhead(c: &mut Criterion) {
             black_box(engine.events_dispatched())
         })
     });
+    group.bench_function("tandem_10k_noop_heap_sched", |b| {
+        b.iter(|| {
+            let mut engine =
+                Engine::<_, NoProbe, HeapKind>::with_probe_on(tandem(black_box(JOBS)), NoProbe);
+            engine.run_to_completion();
+            black_box(engine.events_dispatched())
+        })
+    });
     group.bench_function("tandem_10k_counting", |b| {
         b.iter(|| {
             let mut engine = Engine::with_probe(tandem(black_box(JOBS)), CountingProbe::default());
@@ -129,6 +144,9 @@ fn bench_model_throughput(c: &mut Criterion) {
     let config = smoke_config();
     group.bench_function("voodb_smoke_noop", |b| {
         b.iter(|| black_box(voodb::run_once(&config, black_box(42)).events))
+    });
+    group.bench_function("voodb_smoke_noop_heap_sched", |b| {
+        b.iter(|| black_box(run_once_sched(&config, black_box(42), SchedulerKind::Heap).events))
     });
     group.bench_function("voodb_smoke_recorder", |b| {
         b.iter(|| {

@@ -1,0 +1,119 @@
+//! Scheduler micro-benchmarks: raw event-list throughput and the
+//! engine dispatch floor, isolating the queue from the model.
+//!
+//! Three measurements:
+//!
+//! * `ln A/B` — libm `f64::ln` vs the vendored `desp::random::fast_ln`
+//!   on the exponential sampler's input domain (same draws, summed to
+//!   verify the results agree);
+//! * `engine floor` — the engine + calendar queue dispatching a
+//!   trivial self-rescheduling model: the per-event cost with no model
+//!   work at all;
+//! * `hold pattern` — calendar vs heap on an M/M/1-like hold model at
+//!   several queue populations (collapsed mode, ring mode, and
+//!   overflow-heavy), the classic priority-queue benchmark.
+//!
+//! ```text
+//! cargo run --release -p voodb-bench --bin schedbench -- [--events 4000000]
+//! ```
+
+use desp::sched::{CalendarQueue, EventHeap, Scheduler};
+use desp::{Context, Engine, Model, NoProbe, QueueKind, RandomStream, SimTime};
+use std::time::Instant;
+use voodb_bench::Args;
+
+fn ln_ab(n: u64) {
+    let mut rng = RandomStream::new(9);
+    let mut acc = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..n {
+        acc += (1.0 - rng.uniform01()).ln();
+    }
+    let libm = start.elapsed().as_secs_f64();
+    let mut rng = RandomStream::new(9);
+    let mut acc2 = 0.0f64;
+    let start = Instant::now();
+    for _ in 0..n {
+        acc2 += desp::random::fast_ln(1.0 - rng.uniform01());
+    }
+    let fast = start.elapsed().as_secs_f64();
+    println!(
+        "ln A/B over {n}: libm {:.2} ns/call, fast_ln {:.2} ns/call (sum diff {:.2e})",
+        libm / n as f64 * 1e9,
+        fast / n as f64 * 1e9,
+        (acc - acc2).abs()
+    );
+}
+
+/// A model whose handler does nothing but reschedule: the engine floor.
+struct Ticker {
+    fanout: usize,
+}
+
+impl<Q: QueueKind> Model<NoProbe, Q> for Ticker {
+    type Event = u32;
+    fn init(&mut self, ctx: &mut Context<'_, u32, NoProbe, Q>) {
+        for i in 0..self.fanout as u32 {
+            ctx.schedule(1.0 + i as f64 * 0.37, i);
+        }
+    }
+    fn handle(&mut self, ev: u32, ctx: &mut Context<'_, u32, NoProbe, Q>) {
+        ctx.schedule(1.0, ev);
+    }
+}
+
+fn engine_floor(events: u64, fanout: usize) {
+    let mut engine = Engine::new(Ticker { fanout });
+    engine.run_steps(1000);
+    let start = Instant::now();
+    engine.run_steps(events);
+    let t = start.elapsed().as_secs_f64();
+    println!(
+        "engine floor (fanout {fanout}): {:>6.1} M events/s",
+        events as f64 / t / 1e6
+    );
+}
+
+/// The classic hold benchmark: pop one event, push its successor an
+/// exponential delay ahead; the queue population stays at `fanout`.
+fn hold_pattern<S: Scheduler<u64>>(events: usize, fanout: usize) -> (f64, u64) {
+    let mut q = S::default();
+    let mut rng = RandomStream::new(42);
+    let mut now = 0.0f64;
+    let mut sink = 0u64;
+    for i in 0..fanout as u64 {
+        q.push(SimTime::from_ms(rng.expo(1.11)), i);
+    }
+    let start = Instant::now();
+    for i in 0..events as u64 {
+        let (t, e) = q.pop().expect("non-empty");
+        now = t.as_ms();
+        sink = sink.wrapping_add(e);
+        q.push(SimTime::from_ms(now + rng.expo(1.11)), i);
+    }
+    (start.elapsed().as_secs_f64(), sink.wrapping_add(now as u64))
+}
+
+fn main() {
+    let args = Args::from_env();
+    if args.help_requested() {
+        return Args::print_help(
+            "schedbench",
+            &[("events", "events per measurement (default 4000000)")],
+        );
+    }
+    let events = args.get("events", 4_000_000usize);
+    ln_ab(events as u64);
+    engine_floor(events as u64, 3);
+    for fanout in [3usize, 32, 1024] {
+        let (tc, s1) = hold_pattern::<CalendarQueue<u64>>(events, fanout);
+        let (th, s2) = hold_pattern::<EventHeap<u64>>(events, fanout);
+        assert_eq!(s1, s2, "schedulers disagreed on the pop sequence");
+        println!(
+            "hold fanout {fanout:>5}: calendar {:>6.1} M/s   heap {:>6.1} M/s   ({:.2}x)",
+            events as f64 / tc / 1e6,
+            events as f64 / th / 1e6,
+            th / tc,
+        );
+    }
+}

@@ -14,7 +14,10 @@ use crate::cman::SimReorgReport;
 use crate::model::VoodbModel;
 use crate::params::VoodbParams;
 use crate::results::PhaseResult;
-use desp::{Engine, MetricSet, NoProbe, Probe, ReplicationPolicy, ReplicationReport, Replicator};
+use desp::{
+    CalendarKind, Engine, HeapKind, MetricSet, NoProbe, Probe, QueueKind, ReplicationPolicy,
+    ReplicationReport, Replicator, SchedulerKind,
+};
 use ocb::{DatabaseParams, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams};
 
 /// Seed decorrelation constant between database and workload streams.
@@ -51,14 +54,45 @@ impl<'a> Simulation<'a> {
         cold_count: usize,
         probe: P,
     ) -> (PhaseResult, P) {
+        self.run_phase_probed_on::<P, CalendarKind>(transactions, cold_count, probe)
+    }
+
+    /// [`Self::run_phase_probed`] on a statically chosen scheduler kind.
+    /// Schedulers dispatch in the identical total order, so the result
+    /// is bit-identical whichever kind runs it (asserted by the
+    /// scheduler differential tests).
+    pub fn run_phase_probed_on<P: Probe, Q: QueueKind>(
+        &mut self,
+        transactions: Vec<Transaction>,
+        cold_count: usize,
+        probe: P,
+    ) -> (PhaseResult, P) {
         let mut model = self.model.take().expect("model present");
         model.load_phase(transactions, cold_count);
-        let mut engine = Engine::with_probe(model, probe);
+        let mut engine = Engine::<_, P, Q>::with_probe_on(model, probe);
         let outcome = engine.run_to_completion();
         let (model, probe) = engine.into_parts();
         let result = model.phase_result(outcome.events_dispatched);
         self.model = Some(model);
         (result, probe)
+    }
+
+    /// [`Self::run_phase_probed`] on a runtime-selected scheduler kind.
+    pub fn run_phase_sched<P: Probe>(
+        &mut self,
+        transactions: Vec<Transaction>,
+        cold_count: usize,
+        probe: P,
+        sched: SchedulerKind,
+    ) -> (PhaseResult, P) {
+        match sched {
+            SchedulerKind::Calendar => {
+                self.run_phase_probed_on::<P, CalendarKind>(transactions, cold_count, probe)
+            }
+            SchedulerKind::Heap => {
+                self.run_phase_probed_on::<P, HeapKind>(transactions, cold_count, probe)
+            }
+        }
     }
 
     /// Cold restart: empties every buffer (dirty pages written back).
@@ -120,6 +154,25 @@ pub fn run_once_probed<P: Probe>(
     seed: u64,
     probe: P,
 ) -> (PhaseResult, P) {
+    run_once_with(config, seed, probe, SchedulerKind::default())
+}
+
+/// [`run_once`] on a runtime-selected scheduler kind (the
+/// heap-vs-calendar surface of `engine_bench` and the differential
+/// tests; results are bit-identical across kinds).
+pub fn run_once_sched(config: &ExperimentConfig, seed: u64, sched: SchedulerKind) -> PhaseResult {
+    run_once_with(config, seed, NoProbe, sched).0
+}
+
+/// The shared body behind every `run_once` variant: generate the base
+/// and workload from `seed`, then run the single phase with the given
+/// probe on the given scheduler.
+fn run_once_with<P: Probe>(
+    config: &ExperimentConfig,
+    seed: u64,
+    probe: P,
+    sched: SchedulerKind,
+) -> (PhaseResult, P) {
     config.validate().expect("invalid experiment configuration");
     let base = ObjectBase::generate(&config.database, seed);
     let mut generator =
@@ -134,7 +187,7 @@ pub fn run_once_probed<P: Probe>(
         config.workload.think_time_ms,
         seed,
     );
-    simulation.run_phase_probed(transactions, cold_count, probe)
+    simulation.run_phase_sched(transactions, cold_count, probe, sched)
 }
 
 /// Runs the experiment under the replication protocol, returning per-metric

@@ -57,8 +57,8 @@ pub mod results;
 pub use bman::{BmanStats, BufferDemand, BufferingManager};
 pub use cman::{ClusteringManager, SimReorgReport};
 pub use experiment::{
-    run_dstc_study, run_once, run_once_probed, run_replicated, DstcStudyResult, ExperimentConfig,
-    Simulation,
+    run_dstc_study, run_once, run_once_probed, run_once_sched, run_replicated, DstcStudyResult,
+    ExperimentConfig, Simulation,
 };
 pub use hazards::{HazardKind, HazardModule, HazardParams, HazardReport};
 pub use iosub::{IoSubsystem, SimIoCounts};

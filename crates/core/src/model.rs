@@ -34,7 +34,7 @@ use crate::params::ConcurrencyControl;
 use crate::params::{SystemClass, VoodbParams};
 use crate::results::PhaseResult;
 use bufmgr::PrefetchPolicy;
-use desp::{Context, Model, Probe, RandomStream, Resource, SimTime, SpanPoint, Welford};
+use desp::{Context, Model, Probe, QueueKind, RandomStream, Resource, SimTime, SpanPoint, Welford};
 use ocb::{Access, ObjectBase, Oid, Transaction};
 use std::collections::{HashMap, HashSet};
 
@@ -232,7 +232,11 @@ impl<'a> VoodbModel<'a> {
 
     /// Continues an access once its lock is held: GETLOCK CPU on first
     /// touch, then the storage pipeline.
-    fn after_lock_granted<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
+    fn after_lock_granted<P: Probe, Q: QueueKind>(
+        &mut self,
+        tid: Tid,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         ctx.emit_span(tid as u64, SpanPoint::LockGranted);
         let needs_lock_time = {
             let t = self.active.get_mut(&tid).expect("active");
@@ -249,11 +253,11 @@ impl<'a> VoodbModel<'a> {
     /// Deadlock victim: release everything, restart from the top after a
     /// backoff (the victim keeps its scheduler slot — a restart, not a
     /// resubmission).
-    fn abort_and_restart<P: Probe>(
+    fn abort_and_restart<P: Probe, Q: QueueKind>(
         &mut self,
         tid: Tid,
         backoff_ms: f64,
-        ctx: &mut Context<'_, Event, P>,
+        ctx: &mut Context<'_, Event, P, Q>,
     ) {
         ctx.emit_span(tid as u64, SpanPoint::Restart);
         self.aborts += 1;
@@ -280,7 +284,11 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Arms the next strike of `kind`, if configured and work remains.
-    fn arm_hazard<P: Probe>(&mut self, kind: HazardKind, ctx: &mut Context<'_, Event, P>) {
+    fn arm_hazard<P: Probe, Q: QueueKind>(
+        &mut self,
+        kind: HazardKind,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         if !self.work_remaining() {
             return;
         }
@@ -414,7 +422,11 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Users activity: submit the next transaction, if any remain.
-    fn submit_next<P: Probe>(&mut self, user: usize, ctx: &mut Context<'_, Event, P>) {
+    fn submit_next<P: Probe, Q: QueueKind>(
+        &mut self,
+        user: usize,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         if self.next_tx >= self.transactions.len() {
             return; // This user is done.
         }
@@ -443,7 +455,11 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Buffering Manager + I/O Subsystem step for the current access.
-    fn access_storage<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
+    fn access_storage<P: Probe, Q: QueueKind>(
+        &mut self,
+        tid: Tid,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         let (oid, write) = {
             let t = &self.active[&tid];
             (t.current().oid, t.current().write)
@@ -476,7 +492,12 @@ impl<'a> VoodbModel<'a> {
 
     /// After the page is available: network shipping for client-server
     /// classes, then the access completes.
-    fn leave_storage<P: Probe>(&mut self, tid: Tid, _page: u32, ctx: &mut Context<'_, Event, P>) {
+    fn leave_storage<P: Probe, Q: QueueKind>(
+        &mut self,
+        tid: Tid,
+        _page: u32,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         let bytes = match self.params.system_class {
             SystemClass::Centralized => 0,
             SystemClass::PageServer | SystemClass::HybridMultiServer { .. } => {
@@ -499,7 +520,11 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// Commit: lock releases, scheduler release, statistics, user restart.
-    fn begin_commit<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
+    fn begin_commit<P: Probe, Q: QueueKind>(
+        &mut self,
+        tid: Tid,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         let locked = self.active[&tid].locked.len();
         if self.params.release_lock_ms > 0.0 && locked > 0 {
             self.cpu.request(Event::CommitCpu(tid), ctx);
@@ -508,7 +533,11 @@ impl<'a> VoodbModel<'a> {
         }
     }
 
-    fn finish_transaction<P: Probe>(&mut self, tid: Tid, ctx: &mut Context<'_, Event, P>) {
+    fn finish_transaction<P: Probe, Q: QueueKind>(
+        &mut self,
+        tid: Tid,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
         if matches!(self.params.concurrency, ConcurrencyControl::TwoPhase { .. }) {
             for other in self.locks.release_all(tid) {
                 ctx.schedule_now(Event::LockResume(other));
@@ -556,10 +585,10 @@ impl<'a> VoodbModel<'a> {
     }
 }
 
-impl<P: Probe> Model<P> for VoodbModel<'_> {
+impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
     type Event = Event;
 
-    fn init(&mut self, ctx: &mut Context<'_, Event, P>) {
+    fn init(&mut self, ctx: &mut Context<'_, Event, P, Q>) {
         for user in 0..self.params.users {
             let delay = self.think_delay();
             ctx.schedule(delay, Event::Submit { user });
@@ -568,7 +597,7 @@ impl<P: Probe> Model<P> for VoodbModel<'_> {
         self.arm_hazard(HazardKind::Serious, ctx);
     }
 
-    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event, P>) {
+    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event, P, Q>) {
         match event {
             Event::Submit { user } => self.submit_next(user, ctx),
             Event::Admitted(tid) => {

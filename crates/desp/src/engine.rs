@@ -2,24 +2,26 @@
 //!
 //! DESP-C++ was organised around a *scheduler* owning a sorted event list
 //! and dispatching events to resource service methods. The Rust analog is
-//! an [`Engine`] owning a binary-heap event list and a user-supplied
-//! [`Model`]; the model's [`Model::handle`] method plays the role of the
-//! `SERVICE` clauses of QNAP2 / the event methods of DESP-C++ (Table 2 of
-//! the paper).
+//! an [`Engine`] owning a pluggable future event list (a
+//! [`CalendarQueue`](crate::sched::CalendarQueue) by default, the binary
+//! [`EventHeap`](crate::sched::EventHeap) for differential testing — see
+//! [`crate::sched`]) and a user-supplied [`Model`]; the model's
+//! [`Model::handle`] method plays the role of the `SERVICE` clauses of
+//! QNAP2 / the event methods of DESP-C++ (Table 2 of the paper).
 //!
 //! Two properties the validation methodology depends on are guaranteed
 //! here:
 //!
 //! * **Determinism** — simultaneous events are dispatched in scheduling
 //!   order (ties broken by a monotone sequence number), so a replication is
-//!   a pure function of its seed.
+//!   a pure function of its seed *and independent of the scheduler
+//!   implementation*.
 //! * **Monotone clock** — an event can never be scheduled in the past;
 //!   violations panic rather than silently corrupting the timeline.
 
 use crate::probe::{NoProbe, Probe, SpanPoint};
+use crate::sched::{CalendarKind, QueueKind, Scheduler};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A simulation model: state plus an event handler.
 ///
@@ -34,92 +36,33 @@ use std::collections::BinaryHeap;
 /// recorder implements `impl<P: Probe> Model<P> for MyModel` instead and
 /// emits lifecycle spans via [`Context::emit_span`] /
 /// [`Context::emit_sample`].
-pub trait Model<P: Probe = NoProbe> {
+///
+/// The queue parameter `Q` likewise defaults to the calendar queue; a
+/// model that wants to run under *any* scheduler (e.g. for differential
+/// testing against the heap oracle) implements
+/// `impl<P: Probe, Q: QueueKind> Model<P, Q> for MyModel`.
+pub trait Model<P: Probe = NoProbe, Q: QueueKind = CalendarKind> {
     /// The event vocabulary of the model.
     type Event;
 
     /// Called once before the first event is dispatched; schedules the
     /// initial events (e.g. first transaction arrivals).
-    fn init(&mut self, ctx: &mut Context<'_, Self::Event, P>);
+    fn init(&mut self, ctx: &mut Context<'_, Self::Event, P, Q>);
 
     /// Handles one event occurrence at the current simulated instant.
-    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event, P>);
-}
-
-/// Entry in the event list: `(time, seq)` gives the deterministic total
-/// order.
-struct HeapEntry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need the earliest event.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// The future event list.
-pub struct EventHeap<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
-    seq: u64,
-}
-
-impl<E> EventHeap<E> {
-    fn new() -> Self {
-        EventHeap {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
-
-    fn push(&mut self, time: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(HeapEntry { time, seq, event });
-    }
-
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// True when no event is pending.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event, P, Q>);
 }
 
 /// The model's handle on the engine during event dispatch: the clock, the
 /// event list, the stop flag, and the trace probe.
-pub struct Context<'a, E, P: Probe = NoProbe> {
+pub struct Context<'a, E, P: Probe = NoProbe, Q: QueueKind = CalendarKind> {
     now: SimTime,
-    heap: &'a mut EventHeap<E>,
+    events: &'a mut Q::Queue<E>,
     stop: &'a mut bool,
     probe: &'a mut P,
 }
 
-impl<'a, E, P: Probe> Context<'a, E, P> {
+impl<'a, E, P: Probe, Q: QueueKind> Context<'a, E, P, Q> {
     /// Current simulated instant.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -138,7 +81,7 @@ impl<'a, E, P: Probe> Context<'a, E, P> {
         );
         let at = self.now + delay_ms;
         self.probe.on_schedule(self.now.as_ms(), at.as_ms());
-        self.heap.push(at, event);
+        self.events.push(at, event);
     }
 
     /// Schedules `event` at absolute instant `at`.
@@ -149,7 +92,7 @@ impl<'a, E, P: Probe> Context<'a, E, P> {
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule an event in the past");
         self.probe.on_schedule(self.now.as_ms(), at.as_ms());
-        self.heap.push(at, event);
+        self.events.push(at, event);
     }
 
     /// Schedules `event` to occur immediately (after already-pending events
@@ -157,7 +100,7 @@ impl<'a, E, P: Probe> Context<'a, E, P> {
     #[inline]
     pub fn schedule_now(&mut self, event: E) {
         self.probe.on_schedule(self.now.as_ms(), self.now.as_ms());
-        self.heap.push(self.now, event);
+        self.events.push(self.now, event);
     }
 
     /// Requests termination of the run after the current event.
@@ -169,7 +112,7 @@ impl<'a, E, P: Probe> Context<'a, E, P> {
     /// Number of pending events (diagnostic).
     #[inline]
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.events.len()
     }
 
     /// True when a recording probe is attached. Models guard span/sample
@@ -226,10 +169,14 @@ pub struct RunOutcome {
 /// The simulation engine: owns the model, the clock, the event list and
 /// the trace probe (a [`NoProbe`] unless built via
 /// [`Engine::with_probe`]).
-pub struct Engine<M: Model<P>, P: Probe = NoProbe> {
+///
+/// The event list is chosen statically by `Q` (see [`crate::sched`]):
+/// the default is the calendar queue; differential tests instantiate
+/// `Engine<M, P, HeapKind>` via [`Engine::with_probe_on`].
+pub struct Engine<M: Model<P, Q>, P: Probe = NoProbe, Q: QueueKind = CalendarKind> {
     model: M,
     probe: P,
-    heap: EventHeap<M::Event>,
+    events: Q::Queue<M::Event>,
     clock: SimTime,
     stop: bool,
     dispatched: u64,
@@ -237,8 +184,8 @@ pub struct Engine<M: Model<P>, P: Probe = NoProbe> {
 }
 
 impl<M: Model> Engine<M> {
-    /// Wraps `model` untraced; the model's `init` runs on the first
-    /// `run_*` call.
+    /// Wraps `model` untraced on the default scheduler; the model's
+    /// `init` runs on the first `run_*` call.
     pub fn new(model: M) -> Self {
         Engine::with_probe(model, NoProbe)
     }
@@ -248,10 +195,19 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
     /// Wraps `model` with a trace probe receiving every kernel hook and
     /// model emission.
     pub fn with_probe(model: M, probe: P) -> Self {
+        Engine::with_probe_on(model, probe)
+    }
+}
+
+impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
+    /// Wraps `model` with a trace probe on an explicitly chosen
+    /// scheduler kind, e.g.
+    /// `Engine::<_, _, HeapKind>::with_probe_on(model, NoProbe)`.
+    pub fn with_probe_on(model: M, probe: P) -> Self {
         Engine {
             model,
             probe,
-            heap: EventHeap::new(),
+            events: Q::Queue::default(),
             clock: SimTime::ZERO,
             stop: false,
             dispatched: 0,
@@ -299,12 +255,33 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
             self.initialised = true;
             let mut ctx = Context {
                 now: self.clock,
-                heap: &mut self.heap,
+                events: &mut self.events,
                 stop: &mut self.stop,
                 probe: &mut self.probe,
             };
             self.model.init(&mut ctx);
         }
+    }
+
+    /// Pops and dispatches the next event. Callers have already checked
+    /// `stop` and run `ensure_init`.
+    #[inline]
+    fn dispatch_next(&mut self) -> bool {
+        let Some((time, event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.clock, "event list yielded a past event");
+        self.clock = time;
+        self.dispatched += 1;
+        self.probe.on_dispatch(time.as_ms(), self.events.len());
+        let mut ctx = Context {
+            now: self.clock,
+            events: &mut self.events,
+            stop: &mut self.stop,
+            probe: &mut self.probe,
+        };
+        self.model.handle(event, &mut ctx);
+        true
     }
 
     /// Dispatches a single event. Returns `false` when nothing remains.
@@ -313,27 +290,36 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
         if self.stop {
             return false;
         }
-        let Some((time, event)) = self.heap.pop() else {
-            return false;
-        };
-        debug_assert!(time >= self.clock, "event list yielded a past event");
-        self.clock = time;
-        self.dispatched += 1;
-        self.probe.on_dispatch(time.as_ms(), self.heap.len());
-        let mut ctx = Context {
-            now: self.clock,
-            heap: &mut self.heap,
-            stop: &mut self.stop,
-            probe: &mut self.probe,
-        };
-        self.model.handle(event, &mut ctx);
-        true
+        self.dispatch_next()
     }
 
     /// Runs until the event list drains or the model stops the run.
     pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.ensure_init();
         let start = self.dispatched;
-        while self.step() {}
+        // Tight loop: the init branch is hoisted out entirely, and the
+        // clock / dispatch counter live in registers until the loop
+        // exits (the model can only see them through `Context::now`).
+        let mut clock = self.clock;
+        let mut dispatched = self.dispatched;
+        while !self.stop {
+            let Some((time, event)) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(time >= clock, "event list yielded a past event");
+            clock = time;
+            dispatched += 1;
+            self.probe.on_dispatch(time.as_ms(), self.events.len());
+            let mut ctx = Context {
+                now: clock,
+                events: &mut self.events,
+                stop: &mut self.stop,
+                probe: &mut self.probe,
+            };
+            self.model.handle(event, &mut ctx);
+        }
+        self.clock = clock;
+        self.dispatched = dispatched;
         RunOutcome {
             reason: if self.stop {
                 StopReason::Stopped
@@ -359,7 +345,7 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
                 };
             }
             // Peek: stop before dispatching an event past the horizon.
-            match self.heap.heap.peek() {
+            match self.events.peek_time() {
                 None => {
                     return RunOutcome {
                         reason: StopReason::Exhausted,
@@ -367,7 +353,7 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
                         events_dispatched: self.dispatched - start,
                     }
                 }
-                Some(entry) if entry.time > horizon => {
+                Some(time) if time > horizon => {
                     self.clock = horizon;
                     return RunOutcome {
                         reason: StopReason::Horizon,
@@ -376,7 +362,7 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
                     };
                 }
                 Some(_) => {
-                    self.step();
+                    self.dispatch_next();
                 }
             }
         }
@@ -410,21 +396,23 @@ impl<M: Model<P>, P: Probe> Engine<M, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::HeapKind;
 
-    /// A model that records the order in which its events fire.
+    /// A model that records the order in which its events fire; generic
+    /// over the scheduler so both kinds can be exercised.
     struct Recorder {
         fired: Vec<(f64, u32)>,
         to_schedule: Vec<(f64, u32)>,
     }
 
-    impl Model for Recorder {
+    impl<Q: QueueKind> Model<NoProbe, Q> for Recorder {
         type Event = u32;
-        fn init(&mut self, ctx: &mut Context<'_, u32>) {
+        fn init(&mut self, ctx: &mut Context<'_, u32, NoProbe, Q>) {
             for &(t, id) in &self.to_schedule {
                 ctx.schedule(t, id);
             }
         }
-        fn handle(&mut self, event: u32, ctx: &mut Context<'_, u32>) {
+        fn handle(&mut self, event: u32, ctx: &mut Context<'_, u32, NoProbe, Q>) {
             self.fired.push((ctx.now().as_ms(), event));
         }
     }
@@ -453,6 +441,25 @@ mod tests {
         assert_eq!(engine.model().fired, vec![(2.0, 10), (2.0, 11), (2.0, 12)]);
     }
 
+    #[test]
+    fn heap_engine_dispatches_identically() {
+        let schedule = vec![(5.0, 1), (1.0, 2), (3.0, 3), (3.0, 4), (0.0, 5)];
+        let mut calendar = Engine::new(Recorder {
+            fired: vec![],
+            to_schedule: schedule.clone(),
+        });
+        calendar.run_to_completion();
+        let mut heap = Engine::<_, NoProbe, HeapKind>::with_probe_on(
+            Recorder {
+                fired: vec![],
+                to_schedule: schedule,
+            },
+            NoProbe,
+        );
+        heap.run_to_completion();
+        assert_eq!(calendar.model().fired, heap.model().fired);
+    }
+
     /// A model that reschedules itself forever (stopped via horizon/budget).
     struct Ticker {
         ticks: u64,
@@ -460,12 +467,12 @@ mod tests {
         stop_after: Option<u64>,
     }
 
-    impl Model for Ticker {
+    impl<Q: QueueKind> Model<NoProbe, Q> for Ticker {
         type Event = ();
-        fn init(&mut self, ctx: &mut Context<'_, ()>) {
+        fn init(&mut self, ctx: &mut Context<'_, (), NoProbe, Q>) {
             ctx.schedule(self.period, ());
         }
-        fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+        fn handle(&mut self, _: (), ctx: &mut Context<'_, (), NoProbe, Q>) {
             self.ticks += 1;
             if let Some(limit) = self.stop_after {
                 if self.ticks >= limit {
@@ -492,6 +499,21 @@ mod tests {
         let outcome = engine.run_until(SimTime::from_ms(20.0));
         assert_eq!(outcome.reason, StopReason::Horizon);
         assert_eq!(engine.model().ticks, 20);
+    }
+
+    #[test]
+    fn run_until_respects_horizon_on_heap() {
+        let mut engine = Engine::<_, NoProbe, HeapKind>::with_probe_on(
+            Ticker {
+                ticks: 0,
+                period: 1.0,
+                stop_after: None,
+            },
+            NoProbe,
+        );
+        let outcome = engine.run_until(SimTime::from_ms(10.5));
+        assert_eq!(outcome.reason, StopReason::Horizon);
+        assert_eq!(engine.model().ticks, 10);
     }
 
     #[test]

@@ -65,13 +65,17 @@ pub mod queueing;
 pub mod random;
 pub mod replication;
 pub mod resource;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Context, Engine, EventHeap, Model, RunOutcome, StopReason};
+pub use engine::{Context, Engine, Model, RunOutcome, StopReason};
 pub use probe::{CountingProbe, NoProbe, Probe, SpanPoint};
 pub use random::{RandomStream, StreamFamily, Xoshiro256, Zipf};
 pub use replication::{MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
 pub use resource::{Discipline, Resource};
+pub use sched::{
+    CalendarKind, CalendarQueue, EventHeap, HeapKind, QueueKind, Scheduler, SchedulerKind,
+};
 pub use stats::{ConfidenceInterval, TimeWeighted, Welford};
 pub use time::SimTime;

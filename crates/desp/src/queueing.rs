@@ -13,8 +13,10 @@
 //! QNAP2 for a compiled kernel).
 
 use crate::engine::{Context, Engine, Model};
+use crate::probe::NoProbe;
 use crate::random::RandomStream;
 use crate::resource::Resource;
+use crate::sched::{CalendarKind, QueueKind, SchedulerKind};
 use crate::stats::{TimeWeighted, Welford};
 use crate::time::SimTime;
 
@@ -133,15 +135,17 @@ impl Mmc {
     }
 }
 
-/// Events of the queueing simulation.
+/// Events of the queueing simulation. Each customer's arrival instant
+/// rides inside its events, so the model keeps no per-customer side
+/// table on the hot path.
 #[derive(Clone, Copy, Debug)]
 enum QueueEvent {
-    /// A new customer arrives (carries its id).
+    /// A new customer arrives.
     Arrival,
-    /// Customer `id` was granted a server.
-    StartService(u64),
-    /// Customer `id` finishes service.
-    Departure(u64),
+    /// A customer that arrived at `arrived` was granted a server.
+    StartService { arrived: f64 },
+    /// A customer that arrived at `arrived` finishes service.
+    Departure { arrived: f64 },
 }
 
 /// An M/M/c simulation (c = 1 gives M/M/1) built on [`Engine`] and
@@ -152,37 +156,31 @@ struct QueueSim {
     services: RandomStream,
     mean_interarrival: f64,
     mean_service: f64,
-    /// Arrival instant per customer id.
-    arrival_time: Vec<f64>,
     response: Welford,
     in_system: TimeWeighted,
     population: usize,
-    next_id: u64,
     horizon: SimTime,
     /// Customers served after the warm-up cut.
     warmup: SimTime,
 }
 
-impl Model for QueueSim {
+impl<Q: QueueKind> Model<NoProbe, Q> for QueueSim {
     type Event = QueueEvent;
 
-    fn init(&mut self, ctx: &mut Context<'_, QueueEvent>) {
+    fn init(&mut self, ctx: &mut Context<'_, QueueEvent, NoProbe, Q>) {
         let delay = self.arrivals.expo(self.mean_interarrival);
         ctx.schedule(delay, QueueEvent::Arrival);
         self.in_system.update(0.0, 0.0);
     }
 
-    fn handle(&mut self, event: QueueEvent, ctx: &mut Context<'_, QueueEvent>) {
+    fn handle(&mut self, event: QueueEvent, ctx: &mut Context<'_, QueueEvent, NoProbe, Q>) {
         match event {
             QueueEvent::Arrival => {
-                let id = self.next_id;
-                self.next_id += 1;
-                self.arrival_time.push(ctx.now().as_ms());
-                debug_assert_eq!(self.arrival_time.len() as u64 - 1, id);
+                let arrived = ctx.now().as_ms();
                 self.population += 1;
-                self.in_system
-                    .update(ctx.now().as_ms(), self.population as f64);
-                self.servers.request(QueueEvent::StartService(id), ctx);
+                self.in_system.update(arrived, self.population as f64);
+                self.servers
+                    .request(QueueEvent::StartService { arrived }, ctx);
                 // Next arrival, unless past the horizon (events beyond the
                 // horizon would be cut by run_until anyway; stop generating
                 // to drain cleanly).
@@ -191,12 +189,11 @@ impl Model for QueueSim {
                     ctx.schedule(delay, QueueEvent::Arrival);
                 }
             }
-            QueueEvent::StartService(id) => {
+            QueueEvent::StartService { arrived } => {
                 let service = self.services.expo(self.mean_service);
-                ctx.schedule(service, QueueEvent::Departure(id));
+                ctx.schedule(service, QueueEvent::Departure { arrived });
             }
-            QueueEvent::Departure(id) => {
-                let arrived = self.arrival_time[id as usize];
+            QueueEvent::Departure { arrived } => {
                 if SimTime::from_ms(arrived) >= self.warmup {
                     self.response.add(ctx.now().as_ms() - arrived);
                 }
@@ -224,9 +221,9 @@ pub struct QueueSimResult {
     pub events: u64,
 }
 
-/// Simulates an M/M/c queue (c = 1 → M/M/1) for `horizon_ms` of simulated
-/// time, discarding customers that arrive before `warmup_ms`.
-pub fn simulate_mmc(
+/// [`simulate_mmc`] on a statically chosen scheduler kind — the
+/// differential surface for heap-vs-calendar benchmarking and testing.
+pub fn simulate_mmc_on<Q: QueueKind>(
     lambda: f64,
     mu: f64,
     servers: usize,
@@ -242,15 +239,13 @@ pub fn simulate_mmc(
         services: family.stream(1),
         mean_interarrival: 1.0 / lambda,
         mean_service: 1.0 / mu,
-        arrival_time: Vec::new(),
         response: Welford::new(),
         in_system: TimeWeighted::new(),
         population: 0,
-        next_id: 0,
         horizon: SimTime::from_ms(horizon_ms),
         warmup: SimTime::from_ms(warmup_ms),
     };
-    let mut engine = Engine::new(model);
+    let mut engine = Engine::<_, NoProbe, Q>::with_probe_on(model, NoProbe);
     engine.run_to_completion();
     let now = engine.now();
     let events = engine.events_dispatched();
@@ -264,6 +259,19 @@ pub fn simulate_mmc(
     }
 }
 
+/// Simulates an M/M/c queue (c = 1 → M/M/1) for `horizon_ms` of simulated
+/// time, discarding customers that arrive before `warmup_ms`.
+pub fn simulate_mmc(
+    lambda: f64,
+    mu: f64,
+    servers: usize,
+    horizon_ms: f64,
+    warmup_ms: f64,
+    seed: u64,
+) -> QueueSimResult {
+    simulate_mmc_on::<CalendarKind>(lambda, mu, servers, horizon_ms, warmup_ms, seed)
+}
+
 /// Convenience wrapper: M/M/1.
 pub fn simulate_mm1(
     lambda: f64,
@@ -273,6 +281,25 @@ pub fn simulate_mm1(
     seed: u64,
 ) -> QueueSimResult {
     simulate_mmc(lambda, mu, 1, horizon_ms, warmup_ms, seed)
+}
+
+/// [`simulate_mm1`] on a runtime-selected scheduler kind.
+pub fn simulate_mm1_sched(
+    lambda: f64,
+    mu: f64,
+    horizon_ms: f64,
+    warmup_ms: f64,
+    seed: u64,
+    sched: SchedulerKind,
+) -> QueueSimResult {
+    match sched {
+        SchedulerKind::Calendar => {
+            simulate_mmc_on::<CalendarKind>(lambda, mu, 1, horizon_ms, warmup_ms, seed)
+        }
+        SchedulerKind::Heap => {
+            simulate_mmc_on::<crate::sched::HeapKind>(lambda, mu, 1, horizon_ms, warmup_ms, seed)
+        }
+    }
 }
 
 #[cfg(test)]

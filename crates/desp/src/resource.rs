@@ -15,6 +15,7 @@
 
 use crate::engine::Context;
 use crate::probe::Probe;
+use crate::sched::QueueKind;
 use crate::stats::{TimeWeighted, Welford};
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -120,6 +121,7 @@ impl<E> Resource<E> {
         self.capacity = capacity;
     }
 
+    #[inline]
     fn record_state(&mut self, now: SimTime) {
         self.queue_len.update(now.as_ms(), self.queue.len() as f64);
         self.busy_units
@@ -128,17 +130,23 @@ impl<E> Resource<E> {
 
     /// Requests one unit; `continuation` fires (at the current instant) when
     /// the unit is granted.
-    pub fn request<P: Probe>(&mut self, continuation: E, ctx: &mut Context<'_, E, P>) {
+    #[inline]
+    pub fn request<P: Probe, Q: QueueKind>(
+        &mut self,
+        continuation: E,
+        ctx: &mut Context<'_, E, P, Q>,
+    ) {
         self.request_with_priority(continuation, 0, ctx);
     }
 
     /// Requests one unit with a priority (only meaningful under
     /// [`Discipline::Priority`]; higher values are served first).
-    pub fn request_with_priority<P: Probe>(
+    #[inline]
+    pub fn request_with_priority<P: Probe, Q: QueueKind>(
         &mut self,
         continuation: E,
         priority: i64,
-        ctx: &mut Context<'_, E, P>,
+        ctx: &mut Context<'_, E, P, Q>,
     ) {
         let now = ctx.now();
         if self.busy < self.capacity {
@@ -210,7 +218,8 @@ impl<E> Resource<E> {
     /// # Panics
     /// Panics if no unit is busy (a release without a matching request is a
     /// model bug).
-    pub fn release<P: Probe>(&mut self, ctx: &mut Context<'_, E, P>) {
+    #[inline]
+    pub fn release<P: Probe, Q: QueueKind>(&mut self, ctx: &mut Context<'_, E, P, Q>) {
         assert!(self.busy > 0, "release on idle resource '{}'", self.name);
         let now = ctx.now();
         self.busy -= 1;

@@ -41,6 +41,7 @@ impl Welford {
     }
 
     /// Adds one observation.
+    #[inline(always)]
     pub fn add(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
@@ -133,6 +134,7 @@ impl TimeWeighted {
     /// recorded instant is clamped to it (the update applies "now" in
     /// accumulator time), so a misbehaving caller can never produce a
     /// negative weight that silently corrupts the integral.
+    #[inline(always)]
     pub fn update(&mut self, now: f64, value: f64) {
         if !self.started {
             self.start = now;

@@ -2,9 +2,11 @@
 //! validate declarative scenario files.
 //!
 //! ```text
-//! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR] [--trace]
+//! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+//!           [--trace] [--scheduler calendar|heap]
 //! voodb analyze <run-dir>
 //! voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
+//! voodb bench-summary <BENCH_engine.json> --out <dir>
 //! voodb validate <file.toml>...
 //! voodb list [--dir scenarios]
 //! voodb params
@@ -25,7 +27,7 @@
 
 use scenario::{
     library_listing, params_help_text, run_sweep, run_sweep_traced, write_sweep_reports,
-    write_trace_reports, RunOptions, Scenario, DEFAULT_OUT_DIR,
+    write_trace_reports, RunOptions, Scenario, SchedulerKind, DEFAULT_OUT_DIR,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -35,9 +37,11 @@ const USAGE: &str = "\
 voodb — declarative VOODB experiments
 
 USAGE:
-    voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR] [--trace]
+    voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
+              [--trace] [--scheduler calendar|heap]
     voodb analyze <run-dir>
     voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
+    voodb bench-summary <BENCH_engine.json> --out <dir>
     voodb validate <file.toml>...
     voodb list [--dir scenarios]
     voodb params
@@ -50,7 +54,12 @@ COMMANDS:
     analyze    Print the p50/p90/p99/max latency table of a trace
                directory written by `run --trace`.
     compare    Diff two trace directories' summary metrics; exits
-               non-zero iff a metric regresses beyond the threshold.
+               non-zero iff a metric regresses beyond the threshold
+               (the summary line names each offending metric and delta).
+    bench-summary
+               Convert an engine_bench JSON file into a trace-summary
+               directory, so two bench runs can be diffed with
+               `voodb compare` (the CI perf gate does exactly this).
     validate   Parse and validate scenario files (syntax errors carry
                line and column). Exits non-zero on the first failure.
     list       List the scenario library with name, description, axes
@@ -66,9 +75,18 @@ OPTIONS (run):
     --out DIR     Report directory (default: target/voodb-out).
     --trace       Record every job: transaction spans (JSONL), time
                   series (CSV) and summary.json under <out>/<name>.trace/.
+    --scheduler K Event-list implementation: calendar (default) or heap.
+                  Results are bit-identical either way; heap is the
+                  differential-testing oracle.
 
 OPTIONS (compare):
     --threshold T Relative regression threshold (default 0.10 = 10%).
+
+OPTIONS (bench-summary):
+    --out DIR     Directory to write summary.json into (required).
+    --metrics L   Comma-separated keep-list of measurement names; the CI
+                  perf gate uses this to compare only the mode-robust
+                  throughput metrics.
 ";
 
 fn main() -> ExitCode {
@@ -78,6 +96,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("bench-summary") => cmd_bench_summary(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("params") => {
@@ -153,11 +172,14 @@ fn fail(message: &str) -> ExitCode {
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
-    let (files, options, flags) =
-        match split_args(args, &["threads", "reps", "seed", "out"], &["trace"]) {
-            Ok(split) => split,
-            Err(e) => return fail(&e),
-        };
+    let (files, options, flags) = match split_args(
+        args,
+        &["threads", "reps", "seed", "out", "scheduler"],
+        &["trace"],
+    ) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
     let [file] = files[..] else {
         return fail("'run' takes exactly one scenario file");
     };
@@ -169,6 +191,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "threads" => parse_opt(name, raw).map(|v| run_options.threads = Some(v)),
             "reps" => parse_opt(name, raw).map(|v| run_options.reps = Some(v)),
             "seed" => parse_opt(name, raw).map(|v| run_options.seed = Some(v)),
+            "scheduler" => raw
+                .parse::<SchedulerKind>()
+                .map(|v| run_options.scheduler = v),
             "out" => {
                 out_dir = PathBuf::from(raw);
                 Ok(())
@@ -273,6 +298,57 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_bench_summary(args: &[String]) -> ExitCode {
+    let (files, options, _) = match split_args(args, &["out", "metrics"], &[]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    let [file] = files[..] else {
+        return fail("'bench-summary' takes exactly one engine_bench JSON file");
+    };
+    let Some((_, out)) = options.iter().find(|(name, _)| *name == "out") else {
+        return fail("'bench-summary' requires --out <dir>");
+    };
+    let keep: Option<Vec<&str>> = options
+        .iter()
+        .find(|(name, _)| *name == "metrics")
+        .map(|(_, list)| list.split(',').map(str::trim).collect());
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("{file}: {e}")),
+    };
+    let mut summary = match RunSummary::from_bench_json(&text) {
+        Ok(summary) => summary,
+        Err(e) => return fail(&format!("{file}: {e}")),
+    };
+    if let Some(keep) = keep {
+        // A listed name that matches nothing is a gate misconfiguration
+        // (typo, renamed measurement) — fail loudly rather than silently
+        // un-gating that metric.
+        for name in &keep {
+            if !summary.runs.iter().any(|r| r.metrics.contains_key(*name)) {
+                return fail(&format!(
+                    "--metrics: no measurement named '{name}' in {file}"
+                ));
+            }
+        }
+        for run in &mut summary.runs {
+            run.metrics.retain(|name, _| keep.contains(&name.as_str()));
+        }
+    }
+    match summary.write(Path::new(out)) {
+        Ok(path) => {
+            println!(
+                "wrote {} ({} metrics) — diff with `voodb compare`",
+                path.display(),
+                summary.runs[0].metrics.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
     }
 }
 

@@ -61,6 +61,7 @@ pub mod spec;
 pub mod toml;
 pub mod tracing;
 
+pub use desp::SchedulerKind;
 pub use listing::library_listing;
 pub use report::{sweep_table, write_sweep_reports, Cell, ReportTable, DEFAULT_OUT_DIR};
 pub use runner::{

@@ -26,7 +26,7 @@
 //! output for `threads = 1` vs `threads = 8`.
 
 use crate::spec::{Scenario, SweepPoint};
-use desp::{ConfidenceInterval, NoProbe, Probe};
+use desp::{ConfidenceInterval, NoProbe, Probe, SchedulerKind};
 use ocb::{ObjectBase, WorkloadGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -49,6 +49,9 @@ pub struct RunOptions {
     pub reps: Option<usize>,
     /// Override the scenario's base seed.
     pub seed: Option<u64>,
+    /// Event-list implementation (`--scheduler`); results are
+    /// bit-identical across kinds, so this is a perf/differential knob.
+    pub scheduler: SchedulerKind,
 }
 
 /// One metric's replication estimate at one sweep point.
@@ -127,6 +130,21 @@ pub fn run_replication_probed<P: Probe>(
     seed: u64,
     probe: P,
 ) -> (PhaseResult, P) {
+    run_replication_sched(base, point, seed, probe, SchedulerKind::default())
+}
+
+/// [`run_replication_probed`] on an explicit scheduler kind. The kind
+/// cannot change the result — schedulers dispatch in the identical
+/// total order — which the differential test
+/// (`tests/sched_differential.rs`) asserts over the whole smoke
+/// scenario.
+pub fn run_replication_sched<P: Probe>(
+    base: &ObjectBase,
+    point: &SweepPoint,
+    seed: u64,
+    probe: P,
+    sched: SchedulerKind,
+) -> (PhaseResult, P) {
     let workload = &point.config.workload;
     let mut generator = WorkloadGenerator::new(base, workload.clone(), seed ^ WORKLOAD_SEED_SALT);
     let (cold, hot) = generator.generate_run();
@@ -139,7 +157,7 @@ pub fn run_replication_probed<P: Probe>(
         workload.think_time_ms,
         seed,
     );
-    simulation.run_phase_probed(transactions, cold_count, probe)
+    simulation.run_phase_sched(transactions, cold_count, probe, sched)
 }
 
 /// The telemetry of one traced (point × replication) job.
@@ -247,8 +265,13 @@ where
                 let p_seed = point_seed(base_seed, p);
                 let base =
                     bases[p].get_or_init(|| ObjectBase::generate(&point.config.database, p_seed));
-                let result =
-                    run_replication_probed(base, point, replication_seed(p_seed, r), make_probe());
+                let result = run_replication_sched(
+                    base,
+                    point,
+                    replication_seed(p_seed, r),
+                    make_probe(),
+                    options.scheduler,
+                );
                 *slots[job].lock().expect("job slot poisoned") = Some(result);
             });
         }
@@ -399,6 +422,7 @@ values = [32, 256]
                 reps: Some(2),
                 seed: Some(99),
                 threads: Some(2),
+                ..RunOptions::default()
             },
         )
         .unwrap();

@@ -122,6 +122,7 @@ fn sweep_is_thread_count_invariant() {
             let result = run_sweep(
                 &scenario,
                 &RunOptions {
+                    scheduler: Default::default(),
                     threads: Some(threads),
                     reps: Some(2),
                     seed: Some(7),

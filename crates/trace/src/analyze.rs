@@ -145,8 +145,16 @@ pub enum Direction {
 pub fn direction_of(metric: &str) -> Direction {
     match metric {
         "hit_ratio" | "throughput_tps" => Direction::LowerWorse,
-        "spans" | "transactions" => Direction::Neutral,
+        "spans" | "transactions" | "traced_spans_per_run" => Direction::Neutral,
         _ if metric.ends_with("_ms") => Direction::HigherWorse,
+        // engine_bench measurements (see `RunSummary::from_bench_json`):
+        // throughput regresses downwards, overhead and speedup have
+        // their natural directions. `contains`, not `ends_with`: the
+        // scheduler variants ("..._events_per_sec_heap"/"_noop") carry
+        // a trailing qualifier.
+        _ if metric.contains("_events_per_sec") => Direction::LowerWorse,
+        _ if metric.ends_with("_overhead_pct") => Direction::HigherWorse,
+        _ if metric.ends_with("_speedup_x") => Direction::LowerWorse,
         "ios" | "reads" | "writes" | "ios_per_tx" | "events" | "restarts" => Direction::HigherWorse,
         _ => Direction::Neutral,
     }
@@ -268,13 +276,33 @@ impl CompareReport {
                 if row.regressed { "REGRESSION" } else { "" }
             );
         }
+        // The final line is what a CI failure log shows: name the
+        // offending metrics and their deltas so the log is actionable
+        // without downloading artifacts.
+        let offenders: Vec<String> = self
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| {
+                if r.delta.is_finite() {
+                    format!("{} {:+.1}%", r.metric, r.delta * 100.0)
+                } else {
+                    format!("{} (new)", r.metric)
+                }
+            })
+            .collect();
         let _ = writeln!(
             out,
-            "\n{} metric{} compared, {} regression{}",
+            "\n{} metric{} compared, {} regression{}{}",
             self.rows.len(),
             if self.rows.len() == 1 { "" } else { "s" },
             self.regressions,
             if self.regressions == 1 { "" } else { "s" },
+            if offenders.is_empty() {
+                String::new()
+            } else {
+                format!(": {}", offenders.join(", "))
+            },
         );
         out
     }
@@ -341,6 +369,55 @@ mod tests {
         let report = compare(&a, &b, 0.10);
         assert_eq!(report.regressions, 1);
         assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn bench_metric_directions() {
+        assert_eq!(
+            direction_of("kernel_mm1_events_per_sec"),
+            Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("kernel_mm1_events_per_sec_heap"),
+            Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("voodb_model_events_per_sec_noop"),
+            Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("trace_recorder_overhead_pct"),
+            Direction::HigherWorse
+        );
+        assert_eq!(
+            direction_of("kernel_calendar_speedup_x"),
+            Direction::LowerWorse
+        );
+        assert_eq!(direction_of("traced_spans_per_run"), Direction::Neutral);
+    }
+
+    #[test]
+    fn summary_line_names_offending_metrics() {
+        let a = summary(
+            "a",
+            &[("response_ms", 100.0), ("kernel_mm1_events_per_sec", 3e7)],
+        );
+        let b = summary(
+            "b",
+            &[("response_ms", 130.0), ("kernel_mm1_events_per_sec", 1e7)],
+        );
+        let report = compare(&a, &b, 0.10);
+        assert_eq!(report.regressions, 2);
+        let rendered = report.render();
+        let last = rendered.trim_end().lines().last().unwrap();
+        assert!(
+            last.contains("kernel_mm1_events_per_sec -66.7%"),
+            "summary line must carry the metric and delta: {last}"
+        );
+        assert!(
+            last.contains("response_ms +30.0%"),
+            "summary line must carry every offender: {last}"
+        );
     }
 
     #[test]
