@@ -21,10 +21,14 @@
 
 use desp::queueing::simulate_mm1_sched;
 use desp::SchedulerKind;
-use ocb::{DatabaseParams, WorkloadParams};
+use ocb::{
+    Arrival, DatabaseParams, LazySource, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams,
+};
 use std::path::PathBuf;
 use std::time::Instant;
-use voodb::{run_once_probed, run_once_sched, ExperimentConfig, VoodbParams};
+use voodb::{
+    run_once_probed, run_once_sched, ExperimentConfig, PhaseMode, Simulation, VoodbParams,
+};
 use voodb_bench::Args;
 use vtrace::{Json, TraceRecorder};
 
@@ -124,6 +128,69 @@ fn main() {
     });
     let overhead_pct = (noop - traced) / noop * 100.0;
 
+    // Workload-generation throughput: the OCB default mix streamed
+    // through the lazy path (reused buffer + traversal scratch) — the
+    // feed rate of the streaming pipeline.
+    let gen_count = if smoke { 20_000u64 } else { 200_000 };
+    let gen_base = ObjectBase::generate(&DatabaseParams::small(), seed);
+    let workload_gen = best_events_per_sec(reps, || {
+        let mut generator = WorkloadGenerator::new(&gen_base, WorkloadParams::default(), seed);
+        let mut buf = Transaction::empty();
+        for _ in 0..gen_count {
+            generator.next_transaction_into(&mut buf);
+        }
+        gen_count
+    });
+
+    // The streamed-phase smoke: one closed, count-based phase over a
+    // transaction count no materializing implementation should attempt
+    // (1M in full mode), pinning the O(MPL) memory guarantee — the peak
+    // in-flight slot count must equal the user population, not the
+    // transaction count.
+    let stream_count = if smoke { 50_000 } else { 1_000_000 };
+    let stream_users = 8usize;
+    let (stream_tps, slab_peak) = {
+        let system = VoodbParams {
+            buffer_pages: 10_000,
+            get_lock_ms: 0.0,
+            release_lock_ms: 0.0,
+            users: stream_users,
+            multiprogramming_level: 4,
+            ..VoodbParams::default()
+        };
+        let workload = WorkloadParams {
+            p_set: 0.0,
+            p_simple: 0.0,
+            p_hierarchy: 0.0,
+            p_stochastic: 1.0,
+            stochastic_depth: 5,
+            hot_transactions: stream_count,
+            ..WorkloadParams::default()
+        };
+        let start = Instant::now();
+        let generator = WorkloadGenerator::new(&gen_base, workload, seed ^ 0x57EA);
+        let source = Box::new(LazySource::bounded(generator, stream_count));
+        let mut simulation = Simulation::new(&gen_base, system, 0.0, seed);
+        let (result, _) = simulation.run_phase_source_sched(
+            source,
+            PhaseMode::Count { cold: 0 },
+            Arrival::Closed,
+            desp::NoProbe,
+            SchedulerKind::Calendar,
+        );
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            result.transactions, stream_count,
+            "streamed phase lost work"
+        );
+        let peak = simulation.model().tx_slab_high_water();
+        assert!(
+            peak <= stream_users,
+            "slab peak {peak} exceeds the closed population {stream_users}"
+        );
+        (stream_count as f64 / elapsed, peak)
+    };
+
     let measurements = [
         Measurement {
             name: "kernel_mm1_events_per_sec",
@@ -164,6 +231,21 @@ fn main() {
             name: "traced_spans_per_run",
             value: spans as f64,
             unit: "spans",
+        },
+        Measurement {
+            name: "workload_gen_tx_per_sec",
+            value: workload_gen,
+            unit: "tx/s",
+        },
+        Measurement {
+            name: "stream_phase_tx_per_sec",
+            value: stream_tps,
+            unit: "tx/s",
+        },
+        Measurement {
+            name: "stream_slab_peak_slots",
+            value: slab_peak as f64,
+            unit: "slots",
         },
     ];
 

@@ -11,17 +11,43 @@
 //! protocol via `desp`'s [`Replicator`].
 
 use crate::cman::SimReorgReport;
-use crate::model::VoodbModel;
+use crate::model::{PhaseMode, VoodbModel};
 use crate::params::VoodbParams;
 use crate::results::PhaseResult;
 use desp::{
     CalendarKind, Engine, HeapKind, MetricSet, NoProbe, Probe, QueueKind, ReplicationPolicy,
-    ReplicationReport, Replicator, SchedulerKind,
+    ReplicationReport, Replicator, SchedulerKind, SimTime,
 };
-use ocb::{DatabaseParams, ObjectBase, Transaction, WorkloadGenerator, WorkloadParams};
+use ocb::{
+    Arrival, DatabaseParams, LazySource, ObjectBase, Transaction, TransactionSource,
+    WorkloadGenerator, WorkloadParams,
+};
 
 /// Seed decorrelation constant between database and workload streams.
 const WORKLOAD_SEED_SALT: u64 = 0x0C0B_57A7_15EC_5EED;
+
+/// The streamed phase a workload prescribes: a time-horizon phase when
+/// `duration_ms > 0`, else the classic `COLDN + HOTN` count-based run —
+/// either way pulling lazily from `generator`, so phase memory is
+/// O(in-flight) transactions rather than O(total).
+pub fn workload_phase<'a>(
+    generator: WorkloadGenerator<'a>,
+) -> (Box<dyn TransactionSource + 'a>, PhaseMode) {
+    let wl = generator.params();
+    if wl.duration_ms > 0.0 {
+        let mode = PhaseMode::Horizon {
+            duration_ms: wl.duration_ms,
+            warmup_ms: wl.warmup_ms,
+        };
+        (Box::new(LazySource::unbounded(generator)), mode)
+    } else {
+        let total = wl.cold_transactions + wl.hot_transactions;
+        let mode = PhaseMode::Count {
+            cold: wl.cold_transactions,
+        };
+        (Box::new(LazySource::bounded(generator, total)), mode)
+    }
+}
 
 /// A multi-phase simulation of one replication.
 pub struct Simulation<'a> {
@@ -67,11 +93,39 @@ impl<'a> Simulation<'a> {
         cold_count: usize,
         probe: P,
     ) -> (PhaseResult, P) {
+        assert!(cold_count <= transactions.len());
+        self.run_phase_source_on::<P, Q>(
+            Box::new(ocb::MaterializedSource::new(transactions)),
+            PhaseMode::Count { cold: cold_count },
+            Arrival::Closed,
+            probe,
+        )
+    }
+
+    /// Runs one **streamed** phase: the Users sub-model pulls from
+    /// `source` under `arrival`, terminating per `mode` — to source
+    /// exhaustion ([`PhaseMode::Count`]) or at the simulated-time
+    /// horizon ([`PhaseMode::Horizon`], which may cut transactions off
+    /// mid-flight; only committed ones are counted). Phase memory is
+    /// O(in-flight) transactions.
+    pub fn run_phase_source_on<P: Probe, Q: QueueKind>(
+        &mut self,
+        source: Box<dyn TransactionSource + 'a>,
+        mode: PhaseMode,
+        arrival: Arrival,
+        probe: P,
+    ) -> (PhaseResult, P) {
         let mut model = self.model.take().expect("model present");
-        model.load_phase(transactions, cold_count);
+        model.load_phase_streamed(source, mode, arrival);
         let mut engine = Engine::<_, P, Q>::with_probe_on(model, probe);
-        let outcome = engine.run_to_completion();
-        let (model, probe) = engine.into_parts();
+        let outcome = match mode {
+            PhaseMode::Count { .. } => engine.run_to_completion(),
+            PhaseMode::Horizon { duration_ms, .. } => {
+                engine.run_until(SimTime::from_ms(duration_ms))
+            }
+        };
+        let (mut model, probe) = engine.into_parts();
+        model.finalize_phase(outcome.end_time);
         let result = model.phase_result(outcome.events_dispatched);
         self.model = Some(model);
         (result, probe)
@@ -91,6 +145,25 @@ impl<'a> Simulation<'a> {
             }
             SchedulerKind::Heap => {
                 self.run_phase_probed_on::<P, HeapKind>(transactions, cold_count, probe)
+            }
+        }
+    }
+
+    /// [`Self::run_phase_source_on`] on a runtime-selected scheduler kind.
+    pub fn run_phase_source_sched<P: Probe>(
+        &mut self,
+        source: Box<dyn TransactionSource + 'a>,
+        mode: PhaseMode,
+        arrival: Arrival,
+        probe: P,
+        sched: SchedulerKind,
+    ) -> (PhaseResult, P) {
+        match sched {
+            SchedulerKind::Calendar => {
+                self.run_phase_source_on::<P, CalendarKind>(source, mode, arrival, probe)
+            }
+            SchedulerKind::Heap => {
+                self.run_phase_source_on::<P, HeapKind>(source, mode, arrival, probe)
             }
         }
     }
@@ -165,8 +238,10 @@ pub fn run_once_sched(config: &ExperimentConfig, seed: u64, sched: SchedulerKind
 }
 
 /// The shared body behind every `run_once` variant: generate the base
-/// and workload from `seed`, then run the single phase with the given
-/// probe on the given scheduler.
+/// from `seed` and **stream** the workload through the single phase with
+/// the given probe on the given scheduler (count-based or time-horizon
+/// per the workload's `duration_ms`; bit-identical to the materialized
+/// oracle on count-based phases, asserted by the differential tests).
 fn run_once_with<P: Probe>(
     config: &ExperimentConfig,
     seed: u64,
@@ -175,19 +250,16 @@ fn run_once_with<P: Probe>(
 ) -> (PhaseResult, P) {
     config.validate().expect("invalid experiment configuration");
     let base = ObjectBase::generate(&config.database, seed);
-    let mut generator =
+    let generator =
         WorkloadGenerator::new(&base, config.workload.clone(), seed ^ WORKLOAD_SEED_SALT);
-    let (cold, hot) = generator.generate_run();
-    let cold_count = cold.len();
-    let mut transactions = cold;
-    transactions.extend(hot);
+    let (source, mode) = workload_phase(generator);
     let mut simulation = Simulation::new(
         &base,
         config.system.clone(),
         config.workload.think_time_ms,
         seed,
     );
-    simulation.run_phase_sched(transactions, cold_count, probe, sched)
+    simulation.run_phase_source_sched(source, mode, config.workload.arrival, probe, sched)
 }
 
 /// Runs the experiment under the replication protocol, returning per-metric
@@ -322,6 +394,63 @@ mod tests {
         let names: Vec<&str> = report.metric_names().collect();
         assert!(names.contains(&"ios_per_tx"));
         assert!(names.contains(&"hit_ratio"));
+    }
+
+    #[test]
+    fn count_phase_after_a_horizon_cut_starts_clean() {
+        // A horizon phase cut mid-transaction abandons in-flight
+        // transactions; their lock entries and resource seats (the
+        // MPL scheduler seat above all) must not leak into the next
+        // phase of the same simulation.
+        use crate::params::ConcurrencyControl;
+        use ocb::MaterializedSource;
+
+        let base = ObjectBase::generate(&DatabaseParams::small(), 31);
+        let params = VoodbParams {
+            buffer_pages: 64,
+            users: 2,
+            multiprogramming_level: 1,
+            concurrency: ConcurrencyControl::TwoPhase {
+                restart_backoff_ms: 5.0,
+                deadlock: Default::default(),
+            },
+            ..VoodbParams::default()
+        };
+        let workload = WorkloadParams {
+            hot_transactions: 20,
+            p_write: 0.5,
+            ..WorkloadParams::default()
+        };
+        let mut generator = WorkloadGenerator::new(&base, workload, 3);
+        let transactions: Vec<Transaction> =
+            (0..20).map(|_| generator.next_transaction()).collect();
+        // Reference: the full drained run, for its elapsed time.
+        let mut reference = Simulation::new(&base, params.clone(), 0.0, 9);
+        let full = reference.run_phase(transactions.clone(), 0);
+        assert_eq!(full.transactions, 20);
+
+        let mut simulation = Simulation::new(&base, params, 0.0, 9);
+        let (cut, _) = simulation.run_phase_source_sched(
+            Box::new(MaterializedSource::new(transactions.clone())),
+            PhaseMode::Horizon {
+                duration_ms: full.sim_elapsed_ms * 0.5,
+                warmup_ms: 0.0,
+            },
+            ocb::Arrival::Closed,
+            NoProbe,
+            SchedulerKind::default(),
+        );
+        assert!(
+            cut.transactions < 20,
+            "the horizon must cut transactions mid-flight"
+        );
+        // The next phase must be admitted and complete in full: no
+        // leaked scheduler seat, no stale lock holders.
+        let second = simulation.run_phase(transactions, 0);
+        assert_eq!(
+            second.transactions, 20,
+            "phase after a horizon cut must start from clean resources"
+        );
     }
 
     #[test]

@@ -53,17 +53,18 @@ pub mod model;
 pub mod oman;
 pub mod params;
 pub mod results;
+pub mod txslab;
 
 pub use bman::{BmanStats, BufferDemand, BufferingManager};
 pub use cman::{ClusteringManager, SimReorgReport};
 pub use experiment::{
-    run_dstc_study, run_once, run_once_probed, run_once_sched, run_replicated, DstcStudyResult,
-    ExperimentConfig, Simulation,
+    run_dstc_study, run_once, run_once_probed, run_once_sched, run_replicated, workload_phase,
+    DstcStudyResult, ExperimentConfig, Simulation,
 };
 pub use hazards::{HazardKind, HazardModule, HazardParams, HazardReport};
 pub use iosub::{IoSubsystem, SimIoCounts};
 pub use lockmgr::{DeadlockPolicy, LockManager, LockMode, LockOutcome, LockStats};
-pub use model::{Event, VoodbModel};
+pub use model::{Event, PhaseMode, VoodbModel};
 pub use oman::ObjectManager;
 pub use params::{ConcurrencyControl, DiskParams, SystemClass, VoodbParams};
 pub use results::PhaseResult;

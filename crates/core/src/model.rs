@@ -10,12 +10,41 @@
 //! One object access flows exactly as in Fig. 4:
 //!
 //! ```text
-//! Users → Transaction Manager (admission via MPL scheduler, GETLOCK on
-//! first touch) → Object Manager (OID → page) → Buffering Manager (hit?
-//! miss → demand) → I/O Subsystem (Fig. 5 timing on the disk resource) →
-//! [network transfer for client-server classes] → access done →
-//! Clustering Manager statistics → next object
+//! Users ⇒ pull next transaction from the TransactionSource
+//!       → Transaction Manager (admission via MPL scheduler, GETLOCK on
+//!         first touch) → Object Manager (OID → page) → Buffering Manager
+//!         (hit? miss → demand) → I/O Subsystem (Fig. 5 timing on the
+//!         disk resource) → [network transfer for client-server classes]
+//!         → access done → Clustering Manager statistics → next object
 //! ```
+//!
+//! ## The streaming Users sub-model
+//!
+//! The Users component **pulls** transactions from an
+//! [`ocb::TransactionSource`] one at a time instead of materializing a
+//! phase up front: per-transaction state lives in a recycled
+//! [`crate::txslab::TxSlab`], so a phase holds O(in-flight) transaction
+//! state — bounded by the user count (closed workloads) or the arrival
+//! backlog (open workloads) — no matter how many transactions it
+//! executes. Two arrival regimes ([`ocb::Arrival`]) drive submissions:
+//! the paper's **closed** think-time loop (`NUSERS` users cycling
+//! think → submit → wait-for-commit) and **open** arrivals (Poisson or
+//! deterministic interarrival, independent of completions). Phases
+//! terminate either on a transaction **count** or on a simulated **time
+//! horizon** with a warm-up window ([`PhaseMode`]).
+//!
+//! ### Determinism
+//!
+//! A phase is a pure function of `(base, params, seed)` regardless of
+//! how it is driven: the workload stream, the think/arrival stream and
+//! the hazard stream are decorrelated [`RandomStream`]s, so lazy
+//! generation interleaving with model events cannot perturb any draw —
+//! streamed and materialized runs are bit-identical where they overlap
+//! (count-based phases), as are traced and untraced runs (probes only
+//! observe) and both event-list implementations (differential tests
+//! assert all three). Trace spans and lock-manager timestamps use each
+//! transaction's monotone submission serial, never its recycled slot
+//! index, so slot reuse is invisible to every observer.
 //!
 //! Simplifications vs. a full concurrency-control model, documented here
 //! deliberately: lock *conflicts* are not simulated (the paper charges
@@ -33,22 +62,55 @@ use crate::oman::ObjectManager;
 use crate::params::ConcurrencyControl;
 use crate::params::{SystemClass, VoodbParams};
 use crate::results::PhaseResult;
+use crate::txslab::{Tid, TxSlab};
 use bufmgr::PrefetchPolicy;
 use desp::{Context, Model, Probe, QueueKind, RandomStream, Resource, SimTime, SpanPoint, Welford};
-use ocb::{Access, ObjectBase, Oid, Transaction};
-use std::collections::{HashMap, HashSet};
+use ocb::{Arrival, MaterializedSource, ObjectBase, Transaction, TransactionSource};
 
-/// Transaction identifier inside one phase.
-type Tid = usize;
+/// `user` value marking open-arrival transactions (no user to resubmit).
+pub(crate) const OPEN_USER: usize = usize::MAX;
+
+/// How a phase terminates and which window it measures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PhaseMode {
+    /// Execute the source to exhaustion; the first `cold` transactions
+    /// are an unmeasured cold run (the paper's `COLDN`/`HOTN` protocol).
+    Count {
+        /// Submissions below this serial are unmeasured.
+        cold: usize,
+    },
+    /// Run until simulated time `duration_ms`; measure commits from
+    /// `warmup_ms` on. The phase may end mid-transaction: in-flight
+    /// transactions are not counted, while their I/Os up to the horizon
+    /// are (they happened inside the window).
+    Horizon {
+        /// Phase length, simulated ms.
+        duration_ms: f64,
+        /// Warm-up prefix excluded from measurement, simulated ms.
+        warmup_ms: f64,
+    },
+}
 
 /// Events of the evaluation model.
+///
+/// `Tid` payloads are **slot** indices into the transaction slab; no
+/// event carrying a `Tid` survives past its transaction's commit, so
+/// slot recycling can never route a stale event to a new transaction.
+/// [`Event::LockResume`] is the one exception — the lock manager speaks
+/// monotone serials — and resolves its serial to the live slot.
 #[derive(Clone, Copy, Debug)]
 pub enum Event {
-    /// A user submits its next transaction.
+    /// A user submits its next transaction (closed workloads).
     Submit {
         /// The submitting user.
         user: usize,
     },
+    /// The next open-system arrival (open workloads; reschedules itself
+    /// until the source is exhausted or the horizon cuts it off).
+    Arrive,
+    /// The warm-up window of a [`PhaseMode::Horizon`] phase ends; the
+    /// measurement marks are snapped here.
+    MeasureStart,
     /// The MPL scheduler admitted the transaction.
     Admitted(Tid),
     /// Process the transaction's next access (or commit).
@@ -82,7 +144,9 @@ pub enum Event {
         user: usize,
     },
     /// A parked transaction's lock was granted; continue its access.
-    LockResume(Tid),
+    /// Carries the transaction's **serial** (the lock manager's
+    /// identity), resolved to its live slot at dispatch.
+    LockResume(usize),
     /// A deadlock victim restarts from its first access.
     TxRestart(Tid),
     /// A hazard strikes (requests the disk to seize it).
@@ -93,27 +157,6 @@ pub enum Event {
     HazardCleared(HazardKind),
 }
 
-/// Per-transaction execution state.
-struct ActiveTx {
-    accesses: Vec<Access>,
-    pos: usize,
-    locked: HashSet<Oid>,
-    user: usize,
-    submitted: SimTime,
-    measured: bool,
-    /// Demand awaiting the disk grant (writes, reads) and its site.
-    pending_io: Option<(Vec<u32>, Vec<u32>, usize)>,
-    /// Bytes awaiting the network grant.
-    pending_net: u64,
-    holding_cpu: bool,
-}
-
-impl ActiveTx {
-    fn current(&self) -> &Access {
-        &self.accesses[self.pos]
-    }
-}
-
 /// The VOODB evaluation model, generic over the Table 3 parameters.
 ///
 /// Drive it through [`crate::experiment::Simulation`], which handles
@@ -121,11 +164,14 @@ impl ActiveTx {
 pub struct VoodbModel<'a> {
     base: &'a ObjectBase,
     params: VoodbParams,
-    /// Transactions of the current phase.
-    transactions: Vec<Transaction>,
-    /// Index below which transactions are an unmeasured cold run.
-    cold_count: usize,
-    next_tx: usize,
+    /// The Users sub-model's transaction stream for the current phase.
+    source: Box<dyn TransactionSource + 'a>,
+    /// True once the source declined a pull.
+    exhausted: bool,
+    /// Termination/measurement regime of the current phase.
+    mode: PhaseMode,
+    /// Arrival process of the current phase.
+    arrival: Arrival,
     // ----- active resources (components) -----
     oman: ObjectManager,
     bman: Vec<BufferingManager>,
@@ -141,8 +187,8 @@ pub struct VoodbModel<'a> {
     think_stream: RandomStream,
     think_time_ms: f64,
     // ----- bookkeeping -----
-    active: HashMap<Tid, ActiveTx>,
-    next_tid: Tid,
+    slab: TxSlab,
+    next_serial: usize,
     completed: usize,
     measured_completed: usize,
     response: Welford,
@@ -199,11 +245,12 @@ impl<'a> VoodbModel<'a> {
             think_stream: RandomStream::new(seed ^ 0x7454_494E_4B45_5221),
             think_time_ms,
             params,
-            transactions: Vec::new(),
-            cold_count: 0,
-            next_tx: 0,
-            active: HashMap::new(),
-            next_tid: 0,
+            source: Box::new(MaterializedSource::new(Vec::new())),
+            exhausted: false,
+            mode: PhaseMode::Count { cold: 0 },
+            arrival: Arrival::Closed,
+            slab: TxSlab::new(),
+            next_serial: 0,
             completed: 0,
             measured_completed: 0,
             response: Welford::new(),
@@ -237,12 +284,11 @@ impl<'a> VoodbModel<'a> {
         tid: Tid,
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
-        ctx.emit_span(tid as u64, SpanPoint::LockGranted);
-        let needs_lock_time = {
-            let t = self.active.get_mut(&tid).expect("active");
-            let oid = t.accesses[t.pos].oid;
-            t.locked.insert(oid)
-        };
+        let t = self.slab.get_mut(tid);
+        let oid = t.current().oid;
+        let serial = t.serial;
+        let needs_lock_time = t.lock(oid);
+        ctx.emit_span(serial as u64, SpanPoint::LockGranted);
         if needs_lock_time && self.params.get_lock_ms > 0.0 {
             self.cpu.request(Event::LockCpu(tid), ctx);
         } else {
@@ -259,13 +305,14 @@ impl<'a> VoodbModel<'a> {
         backoff_ms: f64,
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
-        ctx.emit_span(tid as u64, SpanPoint::Restart);
+        let serial = self.slab.get(tid).serial;
+        ctx.emit_span(serial as u64, SpanPoint::Restart);
         self.aborts += 1;
-        let resumed = self.locks.release_all(tid);
+        let resumed = self.locks.release_all(serial);
         for other in resumed {
             ctx.schedule_now(Event::LockResume(other));
         }
-        let t = self.active.get_mut(&tid).expect("active");
+        let t = self.slab.get_mut(tid);
         t.pos = 0;
         t.locked.clear();
         t.pending_io = None;
@@ -278,9 +325,11 @@ impl<'a> VoodbModel<'a> {
     }
 
     /// True while the phase still has work (hazards re-arm only then, so
-    /// the event list drains when the workload completes).
+    /// the event list drains when a bounded workload completes; unbounded
+    /// sources always have work and rely on the horizon to stop the run).
     fn work_remaining(&self) -> bool {
-        self.next_tx < self.transactions.len() || !self.active.is_empty()
+        let source_has_more = !self.exhausted && self.source.remaining() != Some(0);
+        source_has_more || !self.slab.is_empty()
     }
 
     /// Arms the next strike of `kind`, if configured and work remains.
@@ -346,10 +395,67 @@ impl<'a> VoodbModel<'a> {
     /// state (a warm continuation; flush explicitly for a cold restart).
     pub fn load_phase(&mut self, transactions: Vec<Transaction>, cold_count: usize) {
         assert!(cold_count <= transactions.len());
-        self.transactions = transactions;
-        self.cold_count = cold_count;
-        self.next_tx = 0;
-        self.active.clear();
+        self.load_phase_streamed(
+            Box::new(MaterializedSource::new(transactions)),
+            PhaseMode::Count { cold: cold_count },
+            Arrival::Closed,
+        );
+    }
+
+    /// Loads a streamed phase: the Users sub-model pulls from `source`
+    /// under the given termination `mode` and `arrival` process. Resets
+    /// phase bookkeeping but **keeps** buffer/placement/statistics state
+    /// (a warm continuation; flush explicitly for a cold restart).
+    ///
+    /// # Panics
+    /// Panics on an invalid horizon window or arrival process.
+    pub fn load_phase_streamed(
+        &mut self,
+        source: Box<dyn TransactionSource + 'a>,
+        mode: PhaseMode,
+        arrival: Arrival,
+    ) {
+        match mode {
+            PhaseMode::Horizon {
+                duration_ms,
+                warmup_ms,
+            } => {
+                assert!(
+                    duration_ms > 0.0 && (0.0..duration_ms).contains(&warmup_ms),
+                    "invalid horizon window (duration {duration_ms}, warmup {warmup_ms})"
+                );
+            }
+            PhaseMode::Count { .. } => {
+                assert!(
+                    source.remaining().is_some(),
+                    "a count-based phase needs a bounded source \
+                     (use PhaseMode::Horizon for unbounded streams)"
+                );
+            }
+        }
+        arrival.validate().expect("invalid arrival process");
+        // A horizon phase may have been cut mid-transaction: the cut
+        // transactions die with the slab, so their lock entries and
+        // seized resource seats (MPL scheduler, CPU, disks, network)
+        // must die too or they would leak into this phase. After a
+        // fully drained phase all of this is already empty/idle, so
+        // drained multi-phase runs are untouched bit for bit.
+        self.locks = LockManager::new();
+        for resource in std::iter::once(&mut self.scheduler)
+            .chain(std::iter::once(&mut self.cpu))
+            .chain(std::iter::once(&mut self.network))
+            .chain(self.disks.iter_mut())
+        {
+            if resource.busy() > 0 || resource.queue_len() > 0 {
+                *resource = Resource::new(resource.name().to_owned(), resource.capacity());
+            }
+        }
+        self.source = source;
+        self.exhausted = false;
+        self.mode = mode;
+        self.arrival = arrival;
+        self.slab.reset();
+        self.next_serial = 0;
         self.completed = 0;
         self.measured_completed = 0;
         self.response = Welford::new();
@@ -359,6 +465,34 @@ impl<'a> VoodbModel<'a> {
         self.measure_start = SimTime::ZERO;
         self.phase_end = SimTime::ZERO;
         self.reorgs.clear();
+    }
+
+    /// Closes the measurement window of a [`PhaseMode::Horizon`] phase at
+    /// `end` (the engine's stop instant: the horizon, or earlier if a
+    /// bounded source drained). A no-op for count-based phases, whose
+    /// window ends at the last commit. Call after the engine run, before
+    /// [`Self::phase_result`].
+    pub fn finalize_phase(&mut self, end: SimTime) {
+        if matches!(self.mode, PhaseMode::Horizon { .. }) {
+            self.phase_end = end;
+            if !self.measure_started {
+                // The run ended inside the warm-up: an empty window.
+                self.measure_start = end;
+            }
+        }
+    }
+
+    /// Peak simultaneous in-flight transactions of the current phase —
+    /// the O(MPL) memory guarantee of the streaming pipeline, in units
+    /// of slab slots.
+    pub fn tx_slab_high_water(&self) -> usize {
+        self.slab.high_water()
+    }
+
+    /// Transaction slots ever allocated (equals the high-water mark:
+    /// slots are recycled, never abandoned).
+    pub fn tx_slab_capacity(&self) -> usize {
+        self.slab.capacity()
     }
 
     /// Empties every buffer (cold restart between phases).
@@ -421,37 +555,46 @@ impl<'a> VoodbModel<'a> {
         }
     }
 
-    /// Users activity: submit the next transaction, if any remain.
-    fn submit_next<P: Probe, Q: QueueKind>(
+    /// Delay until the next open-system arrival. Draws from the users'
+    /// stream (the arrival process *is* the open Users sub-model).
+    fn interarrival_delay(&mut self) -> f64 {
+        match self.arrival {
+            Arrival::Closed => unreachable!("closed workloads use think_delay"),
+            Arrival::Poisson { rate_per_sec } => self.think_stream.expo(1000.0 / rate_per_sec),
+            Arrival::Deterministic { interarrival_ms } => interarrival_ms,
+        }
+    }
+
+    /// Users activity: pull the next transaction from the source into a
+    /// recycled slab slot and submit it for admission. Returns `false`
+    /// when the source is exhausted (the submitting loop stops).
+    fn spawn_transaction<P: Probe, Q: QueueKind>(
         &mut self,
         user: usize,
         ctx: &mut Context<'_, Event, P, Q>,
-    ) {
-        if self.next_tx >= self.transactions.len() {
-            return; // This user is done.
+    ) -> bool {
+        if self.exhausted {
+            return false;
         }
-        let index = self.next_tx;
-        self.next_tx += 1;
-        let transaction = &self.transactions[index];
-        let tid = self.next_tid;
-        self.next_tid += 1;
-        self.active.insert(
-            tid,
-            ActiveTx {
-                accesses: transaction.accesses.clone(),
-                pos: 0,
-                locked: HashSet::new(),
-                user,
-                submitted: ctx.now(),
-                measured: index >= self.cold_count,
-                pending_io: None,
-                pending_net: 0,
-                holding_cpu: false,
-            },
-        );
-        ctx.emit_span(tid as u64, SpanPoint::Submit);
+        let tid = self.slab.acquire();
+        // Disjoint field borrows: the source fills the slot's buffer.
+        if !self.source.next_into(self.slab.tx_buf_mut(tid)) {
+            self.slab.abandon(tid);
+            self.exhausted = true;
+            return false;
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let measured = match self.mode {
+            PhaseMode::Count { cold } => serial >= cold,
+            // Horizon phases decide at commit time (warm-up window).
+            PhaseMode::Horizon { .. } => false,
+        };
+        self.slab.commit(tid, serial, user, ctx.now(), measured);
+        ctx.emit_span(serial as u64, SpanPoint::Submit);
         // Transaction Manager admission through the scheduler (MPL).
         self.scheduler.request(Event::Admitted(tid), ctx);
+        true
     }
 
     /// Buffering Manager + I/O Subsystem step for the current access.
@@ -461,7 +604,7 @@ impl<'a> VoodbModel<'a> {
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
         let (oid, write) = {
-            let t = &self.active[&tid];
+            let t = self.slab.get(tid);
             (t.current().oid, t.current().write)
         };
         let page = self.oman.page_of(oid);
@@ -483,9 +626,10 @@ impl<'a> VoodbModel<'a> {
         if writes.is_empty() && reads.is_empty() {
             self.leave_storage(tid, page, ctx);
         } else {
-            let t = self.active.get_mut(&tid).expect("active");
+            let t = self.slab.get_mut(tid);
             t.pending_io = Some((writes, reads, site));
-            ctx.emit_span(tid as u64, SpanPoint::DiskRequest);
+            let serial = t.serial;
+            ctx.emit_span(serial as u64, SpanPoint::DiskRequest);
             self.disks[site].request(Event::DiskGranted(tid), ctx);
         }
     }
@@ -504,15 +648,16 @@ impl<'a> VoodbModel<'a> {
                 self.params.page_size as u64
             }
             SystemClass::ObjectServer | SystemClass::DbServer => {
-                let t = &self.active[&tid];
+                let t = self.slab.get(tid);
                 self.base.object(t.current().oid).size as u64
             }
         };
         let ms = self.params.transfer_ms(bytes);
         if ms > 0.0 {
-            let t = self.active.get_mut(&tid).expect("active");
+            let t = self.slab.get_mut(tid);
             t.pending_net = bytes;
-            ctx.emit_span(tid as u64, SpanPoint::NetRequest);
+            let serial = t.serial;
+            ctx.emit_span(serial as u64, SpanPoint::NetRequest);
             self.network.request(Event::NetGranted(tid), ctx);
         } else {
             ctx.schedule_now(Event::AccessDone(tid));
@@ -525,7 +670,7 @@ impl<'a> VoodbModel<'a> {
         tid: Tid,
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
-        let locked = self.active[&tid].locked.len();
+        let locked = self.slab.get(tid).locked.len();
         if self.params.release_lock_ms > 0.0 && locked > 0 {
             self.cpu.request(Event::CommitCpu(tid), ctx);
         } else {
@@ -538,25 +683,35 @@ impl<'a> VoodbModel<'a> {
         tid: Tid,
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
+        let (serial, user, submitted, tx_measured, holding_cpu) = {
+            let t = self.slab.get(tid);
+            (t.serial, t.user, t.submitted, t.measured, t.holding_cpu)
+        };
         if matches!(self.params.concurrency, ConcurrencyControl::TwoPhase { .. }) {
-            for other in self.locks.release_all(tid) {
+            for other in self.locks.release_all(serial) {
                 ctx.schedule_now(Event::LockResume(other));
             }
         }
-        let t = self.active.remove(&tid).expect("active transaction");
-        if t.holding_cpu {
-            ctx.emit_span(tid as u64, SpanPoint::CpuEnd);
+        self.slab.release(tid);
+        if holding_cpu {
+            ctx.emit_span(serial as u64, SpanPoint::CpuEnd);
             self.cpu.release(ctx);
         }
         self.scheduler.release(ctx);
         self.completed += 1;
-        if t.measured {
+        let measured = match self.mode {
+            PhaseMode::Count { .. } => tx_measured,
+            // Horizon phases measure every commit inside the window; the
+            // engine stops at the horizon, so "after warm-up" suffices.
+            PhaseMode::Horizon { .. } => self.measure_started,
+        };
+        if measured {
             self.measured_completed += 1;
             self.response
-                .add(ctx.now().saturating_since(t.submitted).as_ms());
+                .add(ctx.now().saturating_since(submitted).as_ms());
         }
         self.phase_end = ctx.now();
-        ctx.emit_span(tid as u64, SpanPoint::Committed);
+        ctx.emit_span(serial as u64, SpanPoint::Committed);
         if ctx.tracing() {
             // Utilisation/occupancy snapshots at every commit: cheap,
             // commit-frequency sampling of the passive resources.
@@ -568,7 +723,7 @@ impl<'a> VoodbModel<'a> {
                 hits as f64 / (hits + misses) as f64
             };
             ctx.emit_sample("hit_ratio", hit_ratio);
-            ctx.emit_sample("active_transactions", self.active.len() as f64);
+            ctx.emit_sample("active_transactions", self.slab.live() as f64);
             ctx.emit_sample("mpl_queue", self.scheduler.queue_len() as f64);
             let disk_util = self.disks.iter().map(|d| d.utilization(now)).sum::<f64>()
                 / self.disks.len() as f64;
@@ -577,10 +732,12 @@ impl<'a> VoodbModel<'a> {
         }
         // Clustering Manager: automatic triggering (Fig. 4).
         if self.cman.should_trigger() {
-            self.disks[0].request(Event::ReorgGranted { user: t.user }, ctx);
-        } else {
+            self.disks[0].request(Event::ReorgGranted { user }, ctx);
+        } else if self.arrival.is_closed() {
+            // Closed loop: the user thinks, then submits its next
+            // transaction. Open arrivals flow independently of commits.
             let delay = self.think_delay();
-            ctx.schedule(delay, Event::Submit { user: t.user });
+            ctx.schedule(delay, Event::Submit { user });
         }
     }
 }
@@ -589,9 +746,22 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
     type Event = Event;
 
     fn init(&mut self, ctx: &mut Context<'_, Event, P, Q>) {
-        for user in 0..self.params.users {
-            let delay = self.think_delay();
-            ctx.schedule(delay, Event::Submit { user });
+        match self.arrival {
+            Arrival::Closed => {
+                for user in 0..self.params.users {
+                    let delay = self.think_delay();
+                    ctx.schedule(delay, Event::Submit { user });
+                }
+            }
+            Arrival::Poisson { .. } | Arrival::Deterministic { .. } => {
+                let delay = self.interarrival_delay();
+                ctx.schedule(delay, Event::Arrive);
+            }
+        }
+        if let PhaseMode::Horizon { warmup_ms, .. } = self.mode {
+            // Scheduled first, so a commit at exactly the warm-up instant
+            // is measured (init events outrank same-time later ones).
+            ctx.schedule(warmup_ms, Event::MeasureStart);
         }
         self.arm_hazard(HazardKind::Benign, ctx);
         self.arm_hazard(HazardKind::Serious, ctx);
@@ -599,28 +769,45 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
 
     fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event, P, Q>) {
         match event {
-            Event::Submit { user } => self.submit_next(user, ctx),
+            Event::Submit { user } => {
+                self.spawn_transaction(user, ctx);
+            }
+            Event::Arrive => {
+                // Open system: this arrival, then schedule the next one —
+                // independent of commits, bounded only by the source.
+                if self.spawn_transaction(OPEN_USER, ctx) {
+                    let delay = self.interarrival_delay();
+                    ctx.schedule(delay, Event::Arrive);
+                }
+            }
+            Event::MeasureStart => {
+                self.measure_started = true;
+                self.io_mark = self.total_io();
+                self.hits_mark = self.total_hits_misses();
+                self.measure_start = ctx.now();
+            }
             Event::Admitted(tid) => {
-                let measured = self.active[&tid].measured;
+                let t = self.slab.get(tid);
+                let (serial, measured) = (t.serial, t.measured);
                 if measured && !self.measure_started {
                     self.measure_started = true;
                     self.io_mark = self.total_io();
                     self.hits_mark = self.total_hits_misses();
                     self.measure_start = ctx.now();
                 }
-                ctx.emit_span(tid as u64, SpanPoint::Admitted);
+                ctx.emit_span(serial as u64, SpanPoint::Admitted);
                 ctx.schedule_now(Event::StartAccess(tid));
             }
             Event::StartAccess(tid) => {
-                let done = {
-                    let t = &self.active[&tid];
-                    t.pos >= t.accesses.len()
+                let (serial, done) = {
+                    let t = self.slab.get(tid);
+                    (t.serial, t.pos >= t.tx.accesses.len())
                 };
                 if done {
                     self.begin_commit(tid, ctx);
                     return;
                 }
-                ctx.emit_span(tid as u64, SpanPoint::LockRequest);
+                ctx.emit_span(serial as u64, SpanPoint::LockRequest);
                 match self.params.concurrency {
                     ConcurrencyControl::TimedOnly => self.after_lock_granted(tid, ctx),
                     ConcurrencyControl::TwoPhase {
@@ -628,8 +815,8 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                         deadlock,
                     } => {
                         let (oid, mode) = {
-                            let t = &self.active[&tid];
-                            let access = &t.accesses[t.pos];
+                            let t = self.slab.get(tid);
+                            let access = t.current();
                             (
                                 access.oid,
                                 if access.write {
@@ -639,7 +826,9 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                                 },
                             )
                         };
-                        match self.locks.request(tid, oid, mode, deadlock) {
+                        // The lock manager speaks serials: monotone, so
+                        // wait-die's age order survives slot recycling.
+                        match self.locks.request(serial, oid, mode, deadlock) {
                             LockOutcome::Granted => self.after_lock_granted(tid, ctx),
                             LockOutcome::Queued => {
                                 // Parked: resumed by a LockResume when the
@@ -652,82 +841,93 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                     }
                 }
             }
-            Event::LockResume(tid) => {
+            Event::LockResume(serial) => {
                 // The lock manager already holds the lock for us.
+                let tid = self
+                    .slab
+                    .slot_of_serial(serial)
+                    .expect("resumed transaction is live");
                 self.after_lock_granted(tid, ctx);
             }
             Event::TxRestart(tid) => {
                 ctx.schedule_now(Event::StartAccess(tid));
             }
             Event::LockCpu(tid) => {
-                self.active.get_mut(&tid).expect("active").holding_cpu = true;
-                ctx.emit_span(tid as u64, SpanPoint::CpuStart);
+                let t = self.slab.get_mut(tid);
+                t.holding_cpu = true;
+                let serial = t.serial;
+                ctx.emit_span(serial as u64, SpanPoint::CpuStart);
                 ctx.schedule(self.params.get_lock_ms, Event::LockHeld(tid));
             }
             Event::LockHeld(tid) => {
-                self.active.get_mut(&tid).expect("active").holding_cpu = false;
-                ctx.emit_span(tid as u64, SpanPoint::CpuEnd);
+                let t = self.slab.get_mut(tid);
+                t.holding_cpu = false;
+                let serial = t.serial;
+                ctx.emit_span(serial as u64, SpanPoint::CpuEnd);
                 self.cpu.release(ctx);
                 self.access_storage(tid, ctx);
             }
             Event::DiskGranted(tid) => {
-                ctx.emit_span(tid as u64, SpanPoint::DiskStart);
+                let serial = self.slab.get(tid).serial;
+                ctx.emit_span(serial as u64, SpanPoint::DiskStart);
                 let (writes, reads, site) = self
-                    .active
-                    .get_mut(&tid)
-                    .expect("active")
+                    .slab
+                    .get_mut(tid)
                     .pending_io
                     .take()
                     .expect("pending I/O");
                 let duration = self.iosub[site].service_batch(&writes, &reads);
                 // Remember the site for the release.
-                self.active.get_mut(&tid).expect("active").pending_io =
-                    Some((Vec::new(), Vec::new(), site));
+                self.slab.get_mut(tid).pending_io = Some((Vec::new(), Vec::new(), site));
                 ctx.schedule(duration, Event::DiskDone(tid));
             }
             Event::DiskDone(tid) => {
-                ctx.emit_span(tid as u64, SpanPoint::DiskEnd);
+                let serial = self.slab.get(tid).serial;
+                ctx.emit_span(serial as u64, SpanPoint::DiskEnd);
                 let site = self
-                    .active
-                    .get_mut(&tid)
-                    .expect("active")
+                    .slab
+                    .get_mut(tid)
                     .pending_io
                     .take()
                     .expect("site marker")
                     .2;
                 self.disks[site].release(ctx);
                 let page = {
-                    let t = &self.active[&tid];
+                    let t = self.slab.get(tid);
                     self.oman.page_of(t.current().oid)
                 };
                 self.leave_storage(tid, page, ctx);
             }
             Event::NetGranted(tid) => {
-                ctx.emit_span(tid as u64, SpanPoint::NetStart);
-                let bytes = self.active[&tid].pending_net;
+                let t = self.slab.get(tid);
+                let (serial, bytes) = (t.serial, t.pending_net);
+                ctx.emit_span(serial as u64, SpanPoint::NetStart);
                 let ms = self.params.transfer_ms(bytes);
                 ctx.schedule(ms, Event::NetDone(tid));
             }
             Event::NetDone(tid) => {
-                ctx.emit_span(tid as u64, SpanPoint::NetEnd);
+                let serial = self.slab.get(tid).serial;
+                ctx.emit_span(serial as u64, SpanPoint::NetEnd);
                 self.network.release(ctx);
                 ctx.schedule_now(Event::AccessDone(tid));
             }
             Event::AccessDone(tid) => {
-                ctx.emit_span(tid as u64, SpanPoint::AccessDone);
-                let (parent, oid) = {
-                    let t = self.active.get_mut(&tid).expect("active");
-                    let access = t.accesses[t.pos];
+                let (serial, parent, oid) = {
+                    let t = self.slab.get_mut(tid);
+                    let access = *t.current();
                     t.pos += 1;
-                    (access.parent, access.oid)
+                    (t.serial, access.parent, access.oid)
                 };
+                ctx.emit_span(serial as u64, SpanPoint::AccessDone);
                 self.cman.observe(parent, oid);
                 ctx.schedule_now(Event::StartAccess(tid));
             }
             Event::CommitCpu(tid) => {
-                let locked = self.active[&tid].locked.len();
-                self.active.get_mut(&tid).expect("active").holding_cpu = true;
-                ctx.emit_span(tid as u64, SpanPoint::CpuStart);
+                let t = self.slab.get_mut(tid);
+                let locked = t.locked.len();
+                t.holding_cpu = true;
+                let serial = t.serial;
+                ctx.emit_span(serial as u64, SpanPoint::CpuStart);
                 ctx.schedule(
                     self.params.release_lock_ms * locked as f64,
                     Event::Committed(tid),
@@ -747,8 +947,10 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
             }
             Event::ReorgDone { user } => {
                 self.disks[0].release(ctx);
-                let delay = self.think_delay();
-                ctx.schedule(delay, Event::Submit { user });
+                if self.arrival.is_closed() {
+                    let delay = self.think_delay();
+                    ctx.schedule(delay, Event::Submit { user });
+                }
             }
             Event::HazardStrike(kind) => {
                 if self.work_remaining() {
@@ -1008,6 +1210,264 @@ mod tests {
             transactions,
         );
         assert_eq!(result.transactions, 40);
+    }
+
+    fn run_streamed(
+        base: &ObjectBase,
+        params: VoodbParams,
+        source: Box<dyn TransactionSource + '_>,
+        mode: PhaseMode,
+        arrival: Arrival,
+    ) -> (PhaseResult, usize) {
+        let mut model = VoodbModel::new(base, params, 0.0, 99);
+        model.load_phase_streamed(source, mode, arrival);
+        let mut engine = Engine::with_probe(model, desp::NoProbe);
+        let outcome = match mode {
+            PhaseMode::Count { .. } => engine.run_to_completion(),
+            PhaseMode::Horizon { duration_ms, .. } => {
+                engine.run_until(SimTime::from_ms(duration_ms))
+            }
+        };
+        let model = engine.model_mut();
+        model.finalize_phase(outcome.end_time);
+        let result = model.phase_result(outcome.events_dispatched);
+        (result, model.tx_slab_high_water())
+    }
+
+    fn lazy_source(base: &ObjectBase, n: usize, seed: u64) -> Box<dyn TransactionSource + '_> {
+        let params = WorkloadParams {
+            hot_transactions: n,
+            ..WorkloadParams::default()
+        };
+        Box::new(ocb::LazySource::bounded(
+            WorkloadGenerator::new(base, params, seed),
+            n,
+        ))
+    }
+
+    #[test]
+    fn streamed_phase_is_bit_identical_to_materialized_oracle() {
+        let base = base();
+        let materialized = run_phase(&base, small_params(), make_transactions(&base, 40, 7));
+        let (streamed, _) = run_streamed(
+            &base,
+            small_params(),
+            lazy_source(&base, 40, 7),
+            PhaseMode::Count { cold: 0 },
+            Arrival::Closed,
+        );
+        assert_eq!(streamed.transactions, materialized.transactions);
+        assert_eq!(streamed.io, materialized.io);
+        assert_eq!(
+            streamed.mean_response_ms.to_bits(),
+            materialized.mean_response_ms.to_bits()
+        );
+        assert_eq!(
+            streamed.throughput_tps.to_bits(),
+            materialized.throughput_tps.to_bits()
+        );
+        assert_eq!(
+            streamed.hit_ratio.to_bits(),
+            materialized.hit_ratio.to_bits()
+        );
+        assert_eq!(streamed.events, materialized.events);
+    }
+
+    #[test]
+    fn streamed_phase_memory_is_bounded_by_users_not_transactions() {
+        let base = base();
+        let params = VoodbParams {
+            users: 4,
+            multiprogramming_level: 2,
+            ..small_params()
+        };
+        let (result, high_water) = run_streamed(
+            &base,
+            params,
+            lazy_source(&base, 500, 23),
+            PhaseMode::Count { cold: 0 },
+            Arrival::Closed,
+        );
+        assert_eq!(result.transactions, 500);
+        assert!(
+            high_water <= 4,
+            "closed system must hold at most NUSERS transactions, saw {high_water}"
+        );
+    }
+
+    /// The horizon-phase window regression test: a phase ending
+    /// mid-transaction must (a) count exactly the commits inside the
+    /// window, (b) report their response times bit-identically to a
+    /// count-based run of that transaction prefix, and (c) use the
+    /// full `[warmup, horizon]` window for throughput.
+    #[test]
+    fn horizon_phase_matches_count_oracle_when_ending_mid_transaction() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 7);
+        let full = run_phase(&base, small_params(), transactions.clone());
+        // A horizon strictly inside the full run, so it cuts a
+        // transaction off mid-flight.
+        let horizon = full.sim_elapsed_ms * 0.6;
+        let (cut, _) = run_streamed(
+            &base,
+            small_params(),
+            Box::new(MaterializedSource::new(transactions.clone())),
+            PhaseMode::Horizon {
+                duration_ms: horizon,
+                warmup_ms: 0.0,
+            },
+            Arrival::Closed,
+        );
+        let n = cut.transactions;
+        assert!(0 < n && n < 30, "horizon must land mid-run, measured {n}");
+        assert!(
+            (cut.sim_elapsed_ms - horizon).abs() < 1e-9,
+            "window must span warmup..horizon even mid-transaction: {} vs {horizon}",
+            cut.sim_elapsed_ms
+        );
+        // Count-based oracle over exactly the committed prefix (single
+        // user, think 0 ⇒ commits are sequential).
+        let oracle = run_phase(&base, small_params(), transactions[..n].to_vec());
+        assert_eq!(oracle.transactions, n);
+        assert_eq!(
+            cut.mean_response_ms.to_bits(),
+            oracle.mean_response_ms.to_bits(),
+            "response times of the committed prefix must match the oracle"
+        );
+        let expected_tps = n as f64 / (horizon / 1000.0);
+        assert!(
+            (cut.throughput_tps - expected_tps).abs() < 1e-9,
+            "throughput must divide by the window: {} vs {expected_tps}",
+            cut.throughput_tps
+        );
+    }
+
+    #[test]
+    fn horizon_warmup_excludes_early_commits() {
+        let base = base();
+        let transactions = make_transactions(&base, 30, 7);
+        let full = run_phase(&base, small_params(), transactions.clone());
+        let horizon = full.sim_elapsed_ms * 0.8;
+        let warmup = full.sim_elapsed_ms * 0.3;
+        let run = |warmup_ms: f64| {
+            run_streamed(
+                &base,
+                small_params(),
+                Box::new(MaterializedSource::new(transactions.clone())),
+                PhaseMode::Horizon {
+                    duration_ms: horizon,
+                    warmup_ms,
+                },
+                Arrival::Closed,
+            )
+            .0
+        };
+        let cold = run(0.0);
+        let warm = run(warmup);
+        assert!(
+            warm.transactions < cold.transactions,
+            "warm-up must exclude early commits: {} vs {}",
+            warm.transactions,
+            cold.transactions
+        );
+        assert!(warm.transactions > 0);
+        assert!((warm.sim_elapsed_ms - (horizon - warmup)).abs() < 1e-9);
+        // The warm window is a strict sub-interval, and the cold-buffer
+        // burst before the warm-up does I/O, so strictly fewer I/Os.
+        assert!(warm.total_ios() < cold.total_ios());
+    }
+
+    #[test]
+    fn horizon_shorter_than_warmup_measures_nothing() {
+        let base = base();
+        let transactions = make_transactions(&base, 5, 7);
+        // The source drains long before the warm-up ends.
+        let (result, _) = run_streamed(
+            &base,
+            small_params(),
+            Box::new(MaterializedSource::new(transactions)),
+            PhaseMode::Horizon {
+                duration_ms: 1e12,
+                warmup_ms: 1e11,
+            },
+            Arrival::Closed,
+        );
+        assert_eq!(result.transactions, 0);
+        assert_eq!(result.throughput_tps, 0.0);
+        assert_eq!(result.sim_elapsed_ms, 0.0);
+    }
+
+    #[test]
+    fn open_poisson_arrivals_run_and_reproduce() {
+        let base = base();
+        let run = || {
+            run_streamed(
+                &base,
+                small_params(),
+                lazy_source(&base, 60, 31),
+                PhaseMode::Count { cold: 0 },
+                Arrival::Poisson { rate_per_sec: 5.0 },
+            )
+        };
+        let (a, high_a) = run();
+        let (b, _) = run();
+        assert_eq!(a.transactions, 60, "all arrivals must complete and drain");
+        assert_eq!(a.io, b.io);
+        assert_eq!(a.mean_response_ms.to_bits(), b.mean_response_ms.to_bits());
+        assert!(high_a >= 1);
+        // An open system's elapsed time is governed by the arrival
+        // process: 60 arrivals at 5/s span roughly 12 simulated seconds.
+        assert!(a.sim_elapsed_ms > 6_000.0, "got {}", a.sim_elapsed_ms);
+    }
+
+    #[test]
+    fn deterministic_arrivals_pace_the_run() {
+        let base = base();
+        let (result, _) = run_streamed(
+            &base,
+            small_params(),
+            lazy_source(&base, 20, 37),
+            PhaseMode::Count { cold: 0 },
+            Arrival::Deterministic {
+                interarrival_ms: 500.0,
+            },
+        );
+        assert_eq!(result.transactions, 20);
+        // First arrival at 500 ms, last at 10 s; the last commit lands at
+        // or after the last arrival.
+        assert!(result.sim_elapsed_ms >= 10_000.0 - 500.0 - 1e-9);
+    }
+
+    #[test]
+    fn open_arrival_over_horizon_counts_only_window_commits() {
+        let base = base();
+        let params = WorkloadParams {
+            hot_transactions: 1,
+            ..WorkloadParams::default()
+        };
+        let generator = WorkloadGenerator::new(&base, params, 41);
+        let (result, high_water) = run_streamed(
+            &base,
+            VoodbParams {
+                multiprogramming_level: 4,
+                ..small_params()
+            },
+            Box::new(ocb::LazySource::unbounded(generator)),
+            PhaseMode::Horizon {
+                duration_ms: 20_000.0,
+                warmup_ms: 2_000.0,
+            },
+            Arrival::Poisson { rate_per_sec: 1.0 },
+        );
+        assert!(result.transactions > 0);
+        assert!((result.sim_elapsed_ms - 18_000.0).abs() < 1e-9);
+        assert!(result.throughput_tps > 0.0);
+        // Unbounded source, underloaded system: in-flight state stays a
+        // small constant, far below the ~20 arrivals the window admits.
+        assert!(
+            high_water <= 8,
+            "in-flight state must not scale with arrivals, saw {high_water}"
+        );
     }
 
     #[test]

@@ -34,11 +34,13 @@
 pub mod database;
 pub mod params;
 pub mod schema;
+pub mod source;
 pub mod workload;
 
 pub use database::{Object, ObjectBase, Oid};
-pub use params::{DatabaseParams, Selection, TransactionKind, WorkloadParams};
+pub use params::{Arrival, DatabaseParams, Selection, TransactionKind, WorkloadParams};
 pub use schema::{Class, ClassId, ClassRef, RefType, Schema, BYTES_PER_REF, OBJECT_HEADER_BYTES};
+pub use source::{LazySource, MaterializedSource, TransactionSource};
 pub use workload::{
     hierarchy_traversal, hierarchy_traversal_steps, set_oriented, set_oriented_steps,
     simple_traversal, simple_traversal_steps, stochastic_traversal, stochastic_traversal_steps,

@@ -213,6 +213,68 @@ impl TransactionKind {
     ];
 }
 
+/// How transactions arrive at the system.
+///
+/// The paper's Users sub-model is a **closed** system: `NUSERS` users
+/// each cycle think → submit → wait-for-commit, so the in-flight
+/// population is bounded by the user count. The open variants model an
+/// **open** system instead: transactions arrive on an external arrival
+/// process independent of completions (the classic open/closed queueing
+/// distinction), which is how arrival-rate-driven capacity studies are
+/// run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Closed system: `NUSERS` users with exponential think times.
+    Closed,
+    /// Open system: Poisson arrivals at `rate_per_sec` transactions per
+    /// simulated second (exponential interarrival times).
+    Poisson {
+        /// Mean arrival rate, transactions per simulated second.
+        rate_per_sec: f64,
+    },
+    /// Open system: one arrival every `interarrival_ms` simulated ms.
+    Deterministic {
+        /// Fixed interarrival time, ms.
+        interarrival_ms: f64,
+    },
+}
+
+impl Arrival {
+    /// True for the paper's closed think-time loop.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, Arrival::Closed)
+    }
+
+    /// Validates the variant's parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Arrival::Closed => Ok(()),
+            Arrival::Poisson { rate_per_sec } => {
+                if rate_per_sec.is_finite() && *rate_per_sec > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "Poisson arrival rate must be positive and finite, got {rate_per_sec}"
+                    ))
+                }
+            }
+            Arrival::Deterministic { interarrival_ms } => {
+                if interarrival_ms.is_finite() && *interarrival_ms > 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "deterministic interarrival must be positive and finite, \
+                         got {interarrival_ms}"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// Parameters of the transaction workload (OCB workload half).
 #[derive(Clone, Debug)]
 pub struct WorkloadParams {
@@ -248,6 +310,20 @@ pub struct WorkloadParams {
     /// `THINKTIME` — mean think time between a user's transactions, in ms,
     /// exponentially distributed (default 0).
     pub think_time_ms: f64,
+    /// `ARRIVAL` — how transactions arrive: the paper's closed think-time
+    /// loop (default) or an open arrival process (see [`Arrival`]). Open
+    /// arrivals ignore `users`/`think_time_ms`.
+    pub arrival: Arrival,
+    /// `DURATION` — when positive, the phase is bounded by **simulated
+    /// time** instead of a transaction count: it runs until `duration_ms`
+    /// and measures from `warmup_ms` on (streaming from the generator, so
+    /// memory stays O(in-flight)). When 0 (default), the phase is the
+    /// classic `COLDN + HOTN` count-based run.
+    pub duration_ms: f64,
+    /// `WARMUP` — warm-up prefix of a time-horizon phase: transactions
+    /// committing before `warmup_ms` are executed but not measured. Only
+    /// meaningful when `duration_ms > 0`.
+    pub warmup_ms: f64,
 }
 
 impl Default for WorkloadParams {
@@ -268,6 +344,9 @@ impl Default for WorkloadParams {
             p_write: 0.0,
             root_dist: Selection::Uniform,
             think_time_ms: 0.0,
+            arrival: Arrival::Closed,
+            duration_ms: 0.0,
+            warmup_ms: 0.0,
         }
     }
 }
@@ -340,6 +419,27 @@ impl WorkloadParams {
         }
         if self.think_time_ms < 0.0 {
             return Err("think_time_ms must be non-negative".into());
+        }
+        self.arrival
+            .validate()
+            .map_err(|e| format!("arrival: {e}"))?;
+        if !self.duration_ms.is_finite() || self.duration_ms < 0.0 {
+            return Err(format!(
+                "duration_ms must be non-negative and finite, got {}",
+                self.duration_ms
+            ));
+        }
+        if !self.warmup_ms.is_finite() || self.warmup_ms < 0.0 {
+            return Err(format!(
+                "warmup_ms must be non-negative and finite, got {}",
+                self.warmup_ms
+            ));
+        }
+        if self.duration_ms > 0.0 && self.warmup_ms >= self.duration_ms {
+            return Err(format!(
+                "warmup_ms ({}) must be below duration_ms ({})",
+                self.warmup_ms, self.duration_ms
+            ));
         }
         self.root_dist
             .validate()
@@ -442,6 +542,52 @@ mod tests {
         }
         .validate()
         .is_ok());
+    }
+
+    #[test]
+    fn arrival_and_horizon_validation() {
+        assert!(Arrival::Closed.validate().is_ok());
+        assert!(Arrival::Poisson { rate_per_sec: 25.0 }.validate().is_ok());
+        assert!(Arrival::Poisson { rate_per_sec: 0.0 }.validate().is_err());
+        assert!(Arrival::Poisson {
+            rate_per_sec: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(Arrival::Deterministic {
+            interarrival_ms: 10.0
+        }
+        .validate()
+        .is_ok());
+        assert!(Arrival::Deterministic {
+            interarrival_ms: -1.0
+        }
+        .validate()
+        .is_err());
+
+        let wl = WorkloadParams {
+            duration_ms: 1000.0,
+            warmup_ms: 100.0,
+            ..WorkloadParams::default()
+        };
+        wl.validate().unwrap();
+        let wl = WorkloadParams {
+            duration_ms: 1000.0,
+            warmup_ms: 1000.0,
+            ..WorkloadParams::default()
+        };
+        assert!(wl.validate().is_err(), "warmup must undercut duration");
+        let wl = WorkloadParams {
+            warmup_ms: 50.0,
+            ..WorkloadParams::default()
+        };
+        // Count-based phases ignore warmup; any non-negative value is fine.
+        wl.validate().unwrap();
+        let wl = WorkloadParams {
+            duration_ms: -1.0,
+            ..WorkloadParams::default()
+        };
+        assert!(wl.validate().is_err());
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct Transaction {
 }
 
 impl Transaction {
+    /// An empty placeholder, the reusable buffer the `*_into` streaming
+    /// paths fill ([`WorkloadGenerator::next_transaction_into`],
+    /// [`crate::source::TransactionSource::next_into`]).
+    pub fn empty() -> Self {
+        Transaction {
+            kind: TransactionKind::SetOriented,
+            root: 0,
+            accesses: Vec::new(),
+        }
+    }
+
     /// Number of accesses.
     pub fn len(&self) -> usize {
         self.accesses.len()
@@ -77,34 +88,93 @@ impl Transaction {
     }
 }
 
-/// Set-oriented access with parent links: breadth-first expansion over
-/// **all** references up to `depth`, each reachable object accessed once.
-pub fn set_oriented_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Step> {
-    let mut visited = vec![false; base.len()];
-    let mut order: Vec<Step> = Vec::new();
-    let mut frontier = vec![root];
-    visited[root as usize] = true;
-    order.push((root, None));
+/// Reusable traversal state, so a long-running generator performs no
+/// steady-state allocation: visited marks are epoch-stamped (reset is a
+/// counter bump, not a clear), the BFS frontiers, the DFS stack and the
+/// step buffer all keep their capacity between transactions.
+///
+/// The traversal orders are **identical** to a fresh-allocation run —
+/// the public `*_steps` functions are thin wrappers over the same
+/// `*_into` bodies with a throwaway scratch (property-pinned by the
+/// lazy-vs-materialized differential tests).
+#[derive(Debug, Default)]
+pub(crate) struct TraversalScratch {
+    /// Epoch-stamped visited marks (`visited[oid] == epoch` ⇔ visited).
+    visited: Vec<u64>,
+    epoch: u64,
+    /// Current and next BFS frontier (swapped per level).
+    frontier: Vec<Oid>,
+    next: Vec<Oid>,
+    /// DFS stack of `(oid, parent, remaining depth)`.
+    stack: Vec<(Oid, Option<Oid>, usize)>,
+    /// The traversal output, in access order.
+    pub(crate) steps: Vec<Step>,
+}
+
+impl TraversalScratch {
+    /// Starts a new traversal over a base of `n` objects.
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.steps.clear();
+    }
+
+    /// Marks `oid` visited; true iff this was the first visit.
+    #[inline]
+    fn visit(&mut self, oid: Oid) -> bool {
+        let slot = &mut self.visited[oid as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Set-oriented access into `scratch.steps`; see [`set_oriented_steps`].
+pub(crate) fn set_oriented_into(
+    base: &ObjectBase,
+    root: Oid,
+    depth: usize,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.begin(base.len());
+    let mut frontier = std::mem::take(&mut scratch.frontier);
+    frontier.clear();
+    scratch.visit(root);
+    scratch.steps.push((root, None));
+    frontier.push(root);
     for _ in 0..depth {
-        let mut next = Vec::new();
+        scratch.next.clear();
         for &oid in &frontier {
             for &target in base.object(oid).refs.iter() {
-                if !visited[target as usize] {
-                    visited[target as usize] = true;
-                    order.push((target, Some(oid)));
-                    next.push(target);
-                    if order.len() >= MAX_ACCESSES_PER_TRANSACTION {
-                        return order;
+                if scratch.visit(target) {
+                    scratch.steps.push((target, Some(oid)));
+                    scratch.next.push(target);
+                    if scratch.steps.len() >= MAX_ACCESSES_PER_TRANSACTION {
+                        scratch.frontier = frontier;
+                        return;
                     }
                 }
             }
         }
-        if next.is_empty() {
+        if scratch.next.is_empty() {
             break;
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut scratch.next);
     }
-    order
+    scratch.frontier = frontier;
+}
+
+/// Set-oriented access with parent links: breadth-first expansion over
+/// **all** references up to `depth`, each reachable object accessed once.
+pub fn set_oriented_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Step> {
+    let mut scratch = TraversalScratch::default();
+    set_oriented_into(base, root, depth, &mut scratch);
+    scratch.steps
 }
 
 /// Set-oriented access (objects only); see [`set_oriented_steps`].
@@ -115,16 +185,21 @@ pub fn set_oriented(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Oid> {
         .collect()
 }
 
-/// Simple traversal with parent links: depth-first walk over **all**
-/// references up to `depth`; shared sub-objects are accessed once per path
-/// (OO7 raw traversal style).
-pub fn simple_traversal_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Step> {
-    let mut order: Vec<Step> = Vec::new();
+/// Simple traversal into `scratch.steps`; see [`simple_traversal_steps`].
+pub(crate) fn simple_traversal_into(
+    base: &ObjectBase,
+    root: Oid,
+    depth: usize,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.steps.clear();
     // Explicit stack of (oid, parent, remaining depth) to avoid recursion.
-    let mut stack = vec![(root, None, depth)];
+    let mut stack = std::mem::take(&mut scratch.stack);
+    stack.clear();
+    stack.push((root, None, depth));
     while let Some((oid, parent, remaining)) = stack.pop() {
-        order.push((oid, parent));
-        if order.len() >= MAX_ACCESSES_PER_TRANSACTION {
+        scratch.steps.push((oid, parent));
+        if scratch.steps.len() >= MAX_ACCESSES_PER_TRANSACTION {
             break;
         }
         if remaining > 0 {
@@ -136,7 +211,16 @@ pub fn simple_traversal_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec
             }
         }
     }
-    order
+    scratch.stack = stack;
+}
+
+/// Simple traversal with parent links: depth-first walk over **all**
+/// references up to `depth`; shared sub-objects are accessed once per path
+/// (OO7 raw traversal style).
+pub fn simple_traversal_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Step> {
+    let mut scratch = TraversalScratch::default();
+    simple_traversal_into(base, root, depth, &mut scratch);
+    scratch.steps
 }
 
 /// Simple traversal (objects only); see [`simple_traversal_steps`].
@@ -147,32 +231,45 @@ pub fn simple_traversal(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Oid> 
         .collect()
 }
 
+/// Hierarchy traversal into `scratch.steps`; see
+/// [`hierarchy_traversal_steps`].
+pub(crate) fn hierarchy_traversal_into(
+    base: &ObjectBase,
+    root: Oid,
+    depth: usize,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.begin(base.len());
+    let mut frontier = std::mem::take(&mut scratch.frontier);
+    frontier.clear();
+    scratch.visit(root);
+    scratch.steps.push((root, None));
+    frontier.push(root);
+    for _ in 0..depth {
+        scratch.next.clear();
+        for &oid in &frontier {
+            for target in base.refs_of_type(oid, HIERARCHY_REF_TYPE) {
+                if scratch.visit(target) {
+                    scratch.steps.push((target, Some(oid)));
+                    scratch.next.push(target);
+                }
+            }
+        }
+        if scratch.next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut scratch.next);
+    }
+    scratch.frontier = frontier;
+}
+
 /// Hierarchy traversal with parent links: breadth-first expansion
 /// restricted to references of type [`HIERARCHY_REF_TYPE`], up to `depth`,
 /// each object once.
 pub fn hierarchy_traversal_steps(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Step> {
-    let mut visited = vec![false; base.len()];
-    let mut order: Vec<Step> = Vec::new();
-    let mut frontier = vec![root];
-    visited[root as usize] = true;
-    order.push((root, None));
-    for _ in 0..depth {
-        let mut next = Vec::new();
-        for &oid in &frontier {
-            for target in base.refs_of_type(oid, HIERARCHY_REF_TYPE) {
-                if !visited[target as usize] {
-                    visited[target as usize] = true;
-                    order.push((target, Some(oid)));
-                    next.push(target);
-                }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        frontier = next;
-    }
-    order
+    let mut scratch = TraversalScratch::default();
+    hierarchy_traversal_into(base, root, depth, &mut scratch);
+    scratch.steps
 }
 
 /// Hierarchy traversal (objects only); see [`hierarchy_traversal_steps`].
@@ -183,6 +280,30 @@ pub fn hierarchy_traversal(base: &ObjectBase, root: Oid, depth: usize) -> Vec<Oi
         .collect()
 }
 
+/// Stochastic traversal into `scratch.steps`; see
+/// [`stochastic_traversal_steps`].
+pub(crate) fn stochastic_traversal_into(
+    base: &ObjectBase,
+    root: Oid,
+    depth: usize,
+    stream: &mut RandomStream,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.steps.clear();
+    scratch.steps.reserve(depth + 1);
+    let mut current = root;
+    scratch.steps.push((current, None));
+    for _ in 0..depth {
+        let refs = &base.object(current).refs;
+        if refs.is_empty() {
+            break;
+        }
+        let next = refs[stream.index(refs.len())];
+        scratch.steps.push((next, Some(current)));
+        current = next;
+    }
+}
+
 /// Stochastic traversal with parent links: a random walk of `depth` steps,
 /// following one uniformly chosen reference at each step.
 pub fn stochastic_traversal_steps(
@@ -191,19 +312,9 @@ pub fn stochastic_traversal_steps(
     depth: usize,
     stream: &mut RandomStream,
 ) -> Vec<Step> {
-    let mut order: Vec<Step> = Vec::with_capacity(depth + 1);
-    let mut current = root;
-    order.push((current, None));
-    for _ in 0..depth {
-        let refs = &base.object(current).refs;
-        if refs.is_empty() {
-            break;
-        }
-        let next = refs[stream.index(refs.len())];
-        order.push((next, Some(current)));
-        current = next;
-    }
-    order
+    let mut scratch = TraversalScratch::default();
+    stochastic_traversal_into(base, root, depth, stream, &mut scratch);
+    scratch.steps
 }
 
 /// Stochastic traversal (objects only); see [`stochastic_traversal_steps`].
@@ -235,12 +346,20 @@ enum RootSampler {
 }
 
 /// Reproducible transaction stream over an object base.
+///
+/// The stream is a pure function of `(base, params, seed)` whether it is
+/// materialized up front ([`WorkloadGenerator::generate_run`]) or pulled
+/// one transaction at a time ([`WorkloadGenerator::next_transaction_into`],
+/// the streaming path of [`crate::source::LazySource`]): both call the
+/// same generation body, so the sequences are byte-identical
+/// (property-tested).
 pub struct WorkloadGenerator<'a> {
     base: &'a ObjectBase,
     params: WorkloadParams,
     stream: RandomStream,
     roots: RootSampler,
     generated: usize,
+    scratch: TraversalScratch,
 }
 
 impl<'a> WorkloadGenerator<'a> {
@@ -273,6 +392,7 @@ impl<'a> WorkloadGenerator<'a> {
             stream,
             roots,
             generated: 0,
+            scratch: TraversalScratch::default(),
         }
     }
 
@@ -302,41 +422,56 @@ impl<'a> WorkloadGenerator<'a> {
 
     /// Generates the next transaction.
     pub fn next_transaction(&mut self) -> Transaction {
+        let mut out = Transaction::empty();
+        self.next_transaction_into(&mut out);
+        out
+    }
+
+    /// Generates the next transaction **into** `out`, reusing its access
+    /// buffer (and the generator's internal traversal scratch): the
+    /// steady-state streaming path performs no allocation. The sequence
+    /// is byte-identical to repeated [`Self::next_transaction`] calls.
+    pub fn next_transaction_into(&mut self, out: &mut Transaction) {
         let weights = self.params.mix_weights();
         let kind = TransactionKind::ALL[self.stream.choose_weighted(&weights)];
         let root = self.pick_root();
-        let steps = match kind {
+        match kind {
             TransactionKind::SetOriented => {
-                set_oriented_steps(self.base, root, self.params.set_depth)
+                set_oriented_into(self.base, root, self.params.set_depth, &mut self.scratch)
             }
             TransactionKind::SimpleTraversal => {
-                simple_traversal_steps(self.base, root, self.params.simple_depth)
+                simple_traversal_into(self.base, root, self.params.simple_depth, &mut self.scratch)
             }
-            TransactionKind::HierarchyTraversal => {
-                hierarchy_traversal_steps(self.base, root, self.params.hierarchy_depth)
-            }
-            TransactionKind::StochasticTraversal => stochastic_traversal_steps(
+            TransactionKind::HierarchyTraversal => hierarchy_traversal_into(
+                self.base,
+                root,
+                self.params.hierarchy_depth,
+                &mut self.scratch,
+            ),
+            TransactionKind::StochasticTraversal => stochastic_traversal_into(
                 self.base,
                 root,
                 self.params.stochastic_depth,
                 &mut self.stream,
+                &mut self.scratch,
             ),
         };
         let p_write = self.params.p_write;
-        let accesses = steps
-            .into_iter()
-            .map(|(oid, parent)| Access {
+        out.kind = kind;
+        out.root = root;
+        out.accesses.clear();
+        out.accesses.reserve(self.scratch.steps.len());
+        for &(oid, parent) in &self.scratch.steps {
+            out.accesses.push(Access {
                 oid,
                 parent,
+                // The write draws come after the whole traversal, exactly
+                // as in the original one-shot path, so the RNG sequence
+                // is unchanged.
                 write: p_write > 0.0 && self.stream.bernoulli(p_write),
-            })
-            .collect();
-        self.generated += 1;
-        Transaction {
-            kind,
-            root,
-            accesses,
+            });
         }
+        self.generated += 1;
     }
 
     /// Generates the complete measured run: `COLDN` cold transactions

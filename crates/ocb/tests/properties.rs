@@ -144,6 +144,39 @@ proptest! {
     }
 
     #[test]
+    fn lazy_source_is_byte_identical_to_materialized_generation(
+        db in arb_db(),
+        seed in any::<u64>(),
+        p_write in 0.0f64..1.0,
+        count in 1usize..40,
+    ) {
+        // The streaming seam's core guarantee: pulling transactions one
+        // at a time through a LazySource (reused buffer, reused traversal
+        // scratch) yields exactly the sequence the materializing path
+        // produces for equal seeds.
+        let base = ObjectBase::generate(&db, seed);
+        let params = WorkloadParams {
+            p_write,
+            hot_transactions: count,
+            ..WorkloadParams::default()
+        };
+        let mut eager = WorkloadGenerator::new(&base, params.clone(), seed ^ 0xA5A5);
+        let materialized: Vec<_> = (0..count).map(|_| eager.next_transaction()).collect();
+
+        let lazy_gen = WorkloadGenerator::new(&base, params, seed ^ 0xA5A5);
+        let mut lazy = ocb::LazySource::bounded(lazy_gen, count);
+        let mut buf = ocb::Transaction::empty();
+        use ocb::TransactionSource;
+        for expected in &materialized {
+            prop_assert!(lazy.next_into(&mut buf));
+            prop_assert_eq!(buf.kind, expected.kind);
+            prop_assert_eq!(buf.root, expected.root);
+            prop_assert_eq!(&buf.accesses, &expected.accesses);
+        }
+        prop_assert!(!lazy.next_into(&mut buf), "bounded source must exhaust");
+    }
+
+    #[test]
     fn hot_set_roots_come_from_the_hot_set(
         seed in any::<u64>(),
         fraction in 0.01f64..0.5,

@@ -4,6 +4,7 @@
 //! ```text
 //! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
 //!           [--trace] [--scheduler calendar|heap]
+//!           [--duration MS] [--warmup MS] [--arrival SPEC] [--materialized]
 //! voodb analyze <run-dir>
 //! voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
 //! voodb bench-summary <BENCH_engine.json> --out <dir>
@@ -39,6 +40,7 @@ voodb — declarative VOODB experiments
 USAGE:
     voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
               [--trace] [--scheduler calendar|heap]
+              [--duration MS] [--warmup MS] [--arrival SPEC] [--materialized]
     voodb analyze <run-dir>
     voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
     voodb bench-summary <BENCH_engine.json> --out <dir>
@@ -78,6 +80,17 @@ OPTIONS (run):
     --scheduler K Event-list implementation: calendar (default) or heap.
                   Results are bit-identical either way; heap is the
                   differential-testing oracle.
+    --duration MS Override workload.duration_ms: run each point as a
+                  time-horizon phase of MS simulated ms (streamed; memory
+                  stays O(in-flight) however long the phase).
+    --warmup MS   Override workload.warmup_ms (unmeasured warm-up prefix
+                  of a time-horizon phase).
+    --arrival A   Override workload.arrival: closed | poisson-RATE (tx/s)
+                  | deterministic-MS (fixed interarrival).
+    --materialized
+                  Materialize each replication's workload up front (the
+                  pre-streaming oracle; count-based phases only). Results
+                  are bit-identical to streamed runs — CI diffs the CSVs.
 
 OPTIONS (compare):
     --threshold T Relative regression threshold (default 0.10 = 10%).
@@ -174,8 +187,17 @@ fn fail(message: &str) -> ExitCode {
 fn cmd_run(args: &[String]) -> ExitCode {
     let (files, options, flags) = match split_args(
         args,
-        &["threads", "reps", "seed", "out", "scheduler"],
-        &["trace"],
+        &[
+            "threads",
+            "reps",
+            "seed",
+            "out",
+            "scheduler",
+            "duration",
+            "warmup",
+            "arrival",
+        ],
+        &["trace", "materialized"],
     ) {
         Ok(split) => split,
         Err(e) => return fail(&e),
@@ -184,13 +206,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return fail("'run' takes exactly one scenario file");
     };
     let trace = flags.contains(&"trace");
-    let mut run_options = RunOptions::default();
+    let mut run_options = RunOptions {
+        materialized: flags.contains(&"materialized"),
+        ..RunOptions::default()
+    };
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
     for (name, raw) in options {
         let result = match name {
             "threads" => parse_opt(name, raw).map(|v| run_options.threads = Some(v)),
             "reps" => parse_opt(name, raw).map(|v| run_options.reps = Some(v)),
             "seed" => parse_opt(name, raw).map(|v| run_options.seed = Some(v)),
+            "duration" => parse_opt(name, raw).map(|v| run_options.duration_ms = Some(v)),
+            "warmup" => parse_opt(name, raw).map(|v| run_options.warmup_ms = Some(v)),
+            "arrival" => scenario::parse_arrival(raw).map(|v| run_options.arrival = Some(v)),
             "scheduler" => raw
                 .parse::<SchedulerKind>()
                 .map(|v| run_options.scheduler = v),

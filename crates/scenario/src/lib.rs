@@ -68,6 +68,9 @@ pub use runner::{
     run_sweep, run_sweep_traced, JobTrace, MetricEstimate, PointSummary, RunOptions, SweepResult,
     CONFIDENCE,
 };
-pub use spec::{apply_param, params_help_text, Scenario, SweepAxis, SweepPoint, PARAM_HELP};
+pub use spec::{
+    apply_param, arrival_to_string, params_help_text, parse_arrival, Scenario, SweepAxis,
+    SweepPoint, PARAM_HELP,
+};
 pub use toml::{parse, serialize, Table, TomlError, Value};
 pub use tracing::{job_metrics, trace_dir_for, write_trace_reports};

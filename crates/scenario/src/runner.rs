@@ -27,10 +27,10 @@
 
 use crate::spec::{Scenario, SweepPoint};
 use desp::{ConfidenceInterval, NoProbe, Probe, SchedulerKind};
-use ocb::{ObjectBase, WorkloadGenerator};
+use ocb::{Arrival, ObjectBase, WorkloadGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use voodb::{PhaseResult, Simulation};
+use voodb::{workload_phase, PhaseResult, Simulation};
 use vtrace::TraceRecorder;
 
 /// Salt decorrelating workload seeds from database seeds (the same
@@ -52,6 +52,18 @@ pub struct RunOptions {
     /// Event-list implementation (`--scheduler`); results are
     /// bit-identical across kinds, so this is a perf/differential knob.
     pub scheduler: SchedulerKind,
+    /// Override the base `workload.duration_ms` (`--duration`): a
+    /// positive value turns every point into a time-horizon phase.
+    pub duration_ms: Option<f64>,
+    /// Override the base `workload.warmup_ms` (`--warmup`).
+    pub warmup_ms: Option<f64>,
+    /// Override the base `workload.arrival` (`--arrival`).
+    pub arrival: Option<Arrival>,
+    /// Materialize each replication's workload up front instead of
+    /// streaming it (`--materialized`) — the memory-hungry oracle path;
+    /// results are bit-identical to streamed runs, which CI asserts by
+    /// diffing the CSVs. Requires count-based phases.
+    pub materialized: bool,
 }
 
 /// One metric's replication estimate at one sweep point.
@@ -133,11 +145,12 @@ pub fn run_replication_probed<P: Probe>(
     run_replication_sched(base, point, seed, probe, SchedulerKind::default())
 }
 
-/// [`run_replication_probed`] on an explicit scheduler kind. The kind
-/// cannot change the result — schedulers dispatch in the identical
-/// total order — which the differential test
-/// (`tests/sched_differential.rs`) asserts over the whole smoke
-/// scenario.
+/// [`run_replication_probed`] on an explicit scheduler kind, streaming
+/// the workload (phase memory is O(in-flight) transactions; see
+/// [`run_replication_materialized`] for the oracle). The kind cannot
+/// change the result — schedulers dispatch in the identical total
+/// order — which the differential test (`tests/sched_differential.rs`)
+/// asserts over the whole smoke scenario.
 pub fn run_replication_sched<P: Probe>(
     base: &ObjectBase,
     point: &SweepPoint,
@@ -146,6 +159,37 @@ pub fn run_replication_sched<P: Probe>(
     sched: SchedulerKind,
 ) -> (PhaseResult, P) {
     let workload = &point.config.workload;
+    let generator = WorkloadGenerator::new(base, workload.clone(), seed ^ WORKLOAD_SEED_SALT);
+    let (source, mode) = workload_phase(generator);
+    let mut simulation = Simulation::new(
+        base,
+        point.config.system.clone(),
+        workload.think_time_ms,
+        seed,
+    );
+    simulation.run_phase_source_sched(source, mode, workload.arrival, probe, sched)
+}
+
+/// The materialized oracle behind `--materialized`: generates the whole
+/// count-based run up front (the pre-streaming implementation) and
+/// replays it. Bit-identical to [`run_replication_sched`] — asserted by
+/// `tests/stream_differential.rs` and the CI CSV diff.
+///
+/// # Panics
+/// Panics on a time-horizon point (an unbounded stream cannot be
+/// materialized); the sweep runner rejects that combination up front.
+pub fn run_replication_materialized<P: Probe>(
+    base: &ObjectBase,
+    point: &SweepPoint,
+    seed: u64,
+    probe: P,
+    sched: SchedulerKind,
+) -> (PhaseResult, P) {
+    let workload = &point.config.workload;
+    assert!(
+        workload.duration_ms == 0.0,
+        "cannot materialize a time-horizon phase"
+    );
     let mut generator = WorkloadGenerator::new(base, workload.clone(), seed ^ WORKLOAD_SEED_SALT);
     let (cold, hot) = generator.generate_run();
     let cold_count = cold.len();
@@ -157,7 +201,13 @@ pub fn run_replication_sched<P: Probe>(
         workload.think_time_ms,
         seed,
     );
-    simulation.run_phase_sched(transactions, cold_count, probe, sched)
+    simulation.run_phase_source_sched(
+        Box::new(ocb::MaterializedSource::new(transactions)),
+        voodb::PhaseMode::Count { cold: cold_count },
+        workload.arrival,
+        probe,
+        sched,
+    )
 }
 
 /// The telemetry of one traced (point × replication) job.
@@ -234,10 +284,28 @@ where
     if let Some(seed) = options.seed {
         scenario.seed = seed;
     }
+    if let Some(duration) = options.duration_ms {
+        scenario.config.workload.duration_ms = duration;
+    }
+    if let Some(warmup) = options.warmup_ms {
+        scenario.config.workload.warmup_ms = warmup;
+    }
+    if let Some(arrival) = options.arrival {
+        scenario.config.workload.arrival = arrival;
+    }
     scenario.validate()?;
     let reps = scenario.replications;
     let base_seed = scenario.seed;
     let grid = scenario.grid();
+    if options.materialized {
+        if let Some(point) = grid.iter().find(|p| p.config.workload.duration_ms > 0.0) {
+            return Err(format!(
+                "--materialized requires count-based phases, but point '{}' \
+                 has duration_ms > 0 (an unbounded stream cannot be materialized)",
+                point.label()
+            ));
+        }
+    }
     let jobs = grid.len() * reps;
     let threads = options
         .threads
@@ -265,7 +333,12 @@ where
                 let p_seed = point_seed(base_seed, p);
                 let base =
                     bases[p].get_or_init(|| ObjectBase::generate(&point.config.database, p_seed));
-                let result = run_replication_sched(
+                let run = if options.materialized {
+                    run_replication_materialized
+                } else {
+                    run_replication_sched
+                };
+                let result = run(
                     base,
                     point,
                     replication_seed(p_seed, r),

@@ -26,7 +26,7 @@
 use crate::toml::{self, format_float, Table, TomlError, Value};
 use bufmgr::{PolicyKind, PrefetchKind};
 use clustering::{ClusteringKind, DstcParams, InitialPlacement};
-use ocb::Selection;
+use ocb::{Arrival, Selection};
 use voodb::{DiskParams, ExperimentConfig, SystemClass, VoodbParams};
 
 /// O2 page frames per MB of server cache (matches [`VoodbParams::o2`]).
@@ -321,8 +321,9 @@ impl Scenario {
 
     /// Shrinks the scenario so tests and CI smoke runs finish quickly:
     /// clamps the object base to `max_objects`, the measured run to
-    /// `max_transactions`, truncates every axis to `max_axis_points`
-    /// values, and clamps swept `database.objects` /
+    /// `max_transactions`, a time-horizon phase to a few simulated
+    /// seconds (warm-up scaled along), truncates every axis to
+    /// `max_axis_points` values, and clamps swept `database.objects` /
     /// `workload.hot_transactions` values to the same caps (deduplicated,
     /// order preserved). Used by the golden test over `scenarios/`.
     pub fn shrink_for_smoke(
@@ -331,11 +332,19 @@ impl Scenario {
         max_transactions: usize,
         max_axis_points: usize,
     ) {
+        /// Horizon cap: long enough for tens of commits at preset
+        /// arrival rates, short enough for debug-profile test runs.
+        const MAX_DURATION_MS: f64 = 2_000.0;
         let db = &mut self.config.database;
         db.objects = db.objects.min(max_objects);
         db.classes = db.classes.min(db.objects.max(1));
         self.config.workload.hot_transactions =
             self.config.workload.hot_transactions.min(max_transactions);
+        let wl = &mut self.config.workload;
+        if wl.duration_ms > MAX_DURATION_MS {
+            wl.warmup_ms *= MAX_DURATION_MS / wl.duration_ms;
+            wl.duration_ms = MAX_DURATION_MS;
+        }
         for axis in &mut self.sweep {
             axis.values.truncate(max_axis_points.max(1));
             let cap = match axis.param.as_str() {
@@ -636,6 +645,21 @@ pub const PARAM_HELP: &[(&str, &str, &str)] = &[
         "float",
         "THINKTIME: mean think time, ms",
     ),
+    (
+        "workload.arrival",
+        "string",
+        "ARRIVAL: closed | poisson-RATE (tx/s, open system) | deterministic-MS (interarrival)",
+    ),
+    (
+        "workload.duration_ms",
+        "float",
+        "DURATION: time-horizon phase length in simulated ms (0 = count-based COLDN/HOTN)",
+    ),
+    (
+        "workload.warmup_ms",
+        "float",
+        "WARMUP: unmeasured warm-up prefix of a time-horizon phase, ms",
+    ),
 ];
 
 /// Renders [`PARAM_HELP`] as the `voodb params` listing: keys sorted
@@ -795,6 +819,40 @@ fn parse_selection(raw: &str) -> Result<Selection, String> {
     ))
 }
 
+/// Parses an arrival process: `closed`, `poisson-RATE` (transactions per
+/// simulated second) or `deterministic-MS` (fixed interarrival).
+pub fn parse_arrival(raw: &str) -> Result<Arrival, String> {
+    if raw == "closed" {
+        return Ok(Arrival::Closed);
+    }
+    if let Some(rate) = raw.strip_prefix("poisson-") {
+        return rate
+            .parse()
+            .map(|rate_per_sec| Arrival::Poisson { rate_per_sec })
+            .map_err(|_| format!("invalid poisson rate in '{raw}'"));
+    }
+    if let Some(interval) = raw.strip_prefix("deterministic-") {
+        return interval
+            .parse()
+            .map(|interarrival_ms| Arrival::Deterministic { interarrival_ms })
+            .map_err(|_| format!("invalid deterministic interarrival in '{raw}'"));
+    }
+    Err(format!(
+        "unknown arrival '{raw}' (closed | poisson-RATE | deterministic-MS)"
+    ))
+}
+
+/// Canonical string for an [`Arrival`] (inverse of [`parse_arrival`]).
+pub fn arrival_to_string(arrival: &Arrival) -> String {
+    match arrival {
+        Arrival::Closed => "closed".into(),
+        Arrival::Poisson { rate_per_sec } => format!("poisson-{}", format_float(*rate_per_sec)),
+        Arrival::Deterministic { interarrival_ms } => {
+            format!("deterministic-{}", format_float(*interarrival_ms))
+        }
+    }
+}
+
 fn selection_to_string(selection: &Selection) -> String {
     match selection {
         Selection::Uniform => "uniform".into(),
@@ -940,6 +998,9 @@ fn apply_workload(wl: &mut ocb::WorkloadParams, field: &str, v: &Value) -> Resul
         "p_write" => wl.p_write = f64_of(v)?,
         "root_dist" => wl.root_dist = parse_selection(str_of(v)?)?,
         "think_time_ms" => wl.think_time_ms = f64_of(v)?,
+        "arrival" => wl.arrival = parse_arrival(str_of(v)?)?,
+        "duration_ms" => wl.duration_ms = f64_of(v)?,
+        "warmup_ms" => wl.warmup_ms = f64_of(v)?,
         other => return Err(format!("unknown [workload] key '{other}'")),
     }
     Ok(())
@@ -1097,6 +1158,12 @@ fn workload_to_table(wl: &ocb::WorkloadParams) -> Table {
         Value::String(selection_to_string(&wl.root_dist)),
     );
     t.insert("think_time_ms".into(), Value::Float(wl.think_time_ms));
+    t.insert(
+        "arrival".into(),
+        Value::String(arrival_to_string(&wl.arrival)),
+    );
+    t.insert("duration_ms".into(), Value::Float(wl.duration_ms));
+    t.insert("warmup_ms".into(), Value::Float(wl.warmup_ms));
     t
 }
 
@@ -1227,6 +1294,62 @@ hot_transactions = 40
             err.contains("sweep point") && err.contains("objects"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn arrival_and_horizon_keys_parse_sweep_and_round_trip() {
+        let text = format!(
+            "{MINIMAL}\n[workload]\narrival = \"poisson-25.5\"\nduration_ms = 30000.0\n\
+             warmup_ms = 3000.0\n\n\
+             [[sweep]]\nparam = \"workload.arrival\"\n\
+             values = [\"poisson-10\", \"poisson-40\", \"deterministic-12.5\", \"closed\"]\n"
+        );
+        let s = Scenario::parse(&text).unwrap();
+        assert_eq!(
+            s.config.workload.arrival,
+            Arrival::Poisson { rate_per_sec: 25.5 }
+        );
+        assert_eq!(s.config.workload.duration_ms, 30000.0);
+        assert_eq!(s.config.workload.warmup_ms, 3000.0);
+        let grid = s.grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid[2].config.workload.arrival,
+            Arrival::Deterministic {
+                interarrival_ms: 12.5
+            }
+        );
+        assert_eq!(grid[3].config.workload.arrival, Arrival::Closed);
+        assert_eq!(grid[0].label(), "arrival=poisson-10");
+        // Canonical serialization round-trips.
+        let serialized = s.to_toml_string();
+        let reparsed = Scenario::parse(&serialized).unwrap();
+        assert_eq!(reparsed.to_toml_string(), serialized);
+        assert_eq!(reparsed.config.workload.arrival, s.config.workload.arrival);
+        assert_eq!(reparsed.sweep, s.sweep);
+        // Invalid values are rejected with the key named.
+        let err = Scenario::parse(&format!("{MINIMAL}\n[workload]\narrival = \"sometimes\"\n"))
+            .unwrap_err();
+        assert!(err.contains("arrival"), "{err}");
+        let err = Scenario::parse(&format!(
+            "{MINIMAL}\n[workload]\nduration_ms = 100.0\nwarmup_ms = 100.0\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("warmup"), "{err}");
+    }
+
+    #[test]
+    fn shrink_for_smoke_caps_horizon() {
+        let text = format!(
+            "{MINIMAL}\n[workload]\narrival = \"poisson-40\"\nduration_ms = 60000.0\n\
+             warmup_ms = 6000.0\n"
+        );
+        let mut s = Scenario::parse(&text).unwrap();
+        s.shrink_for_smoke(400, 20, 2);
+        assert_eq!(s.config.workload.duration_ms, 2000.0);
+        // The warm-up scales with the cut, keeping its fraction.
+        assert!((s.config.workload.warmup_ms - 200.0).abs() < 1e-9);
+        s.validate().unwrap();
     }
 
     #[test]

@@ -55,7 +55,9 @@ const EXPECTED_PARAMS: &str = concat!(
     "  system.users                         integer    NUSERS: simulated users\n",
     "\n",
     "[workload]\n",
+    "  workload.arrival                     string     ARRIVAL: closed | poisson-RATE (tx/s, open system) | deterministic-MS (interarrival)\n",
     "  workload.cold_transactions           integer    COLDN: unmeasured cold-run transactions\n",
+    "  workload.duration_ms                 float      DURATION: time-horizon phase length in simulated ms (0 = count-based COLDN/HOTN)\n",
     "  workload.hierarchy_depth             integer    HIEDEPTH: hierarchy traversal depth\n",
     "  workload.hot_transactions            integer    HOTN: measured warm-run transactions\n",
     "  workload.p_hierarchy                 float      PHIER: hierarchy traversal probability\n",
@@ -69,6 +71,7 @@ const EXPECTED_PARAMS: &str = concat!(
     "  workload.stochastic_depth            integer    STODEPTH: stochastic traversal depth\n",
     "  workload.think_time_ms               float      THINKTIME: mean think time, ms\n",
     "  workload.users                       integer    concurrent users of the workload\n",
+    "  workload.warmup_ms                   float      WARMUP: unmeasured warm-up prefix of a time-horizon phase, ms\n",
 );
 
 const EXPECTED_LISTING: &str = concat!(
@@ -76,6 +79,7 @@ const EXPECTED_LISTING: &str = concat!(
     "multiserver_mpl.toml         Multiprogramming level x system class, 8 users with think time [16 x10 reps] sweeps: system.multiprogramming_level, system.system_class\n",
     "o2_base_size.toml            O2 (Table 4): mean I/Os vs. number of instances, 50 classes [6 x10 reps] sweeps: database.objects\n",
     "o2_cache.toml                O2 (Table 4): mean I/Os vs. server cache size, mid-sized base [6 x10 reps] sweeps: system.cache_mb\n",
+    "open_arrival.toml            Open Poisson arrivals x MPL over a time-horizon phase, page server [9 x5 reps] sweeps: workload.arrival, system.multiprogramming_level\n",
     "smoke.toml                   Tiny end-to-end sweep for CI and tests [2 x3 reps] sweeps: system.buffer_pages\n",
     "texas_base_size.toml         Texas (Table 4): mean I/Os vs. number of instances, 50 classes [6 x10 reps] sweeps: database.objects\n",
     "texas_memory.toml            Texas (Table 4): mean I/Os vs. available memory, mid-sized base [6 x10 reps] sweeps: system.memory_mb\n",

@@ -37,8 +37,8 @@ fn all_scenarios() -> Vec<(String, Scenario)> {
 fn library_is_present_and_valid() {
     let scenarios = all_scenarios();
     assert!(
-        scenarios.len() >= 7,
-        "expected at least 7 presets, found {}",
+        scenarios.len() >= 8,
+        "expected at least 8 presets, found {}",
         scenarios.len()
     );
     let names: Vec<&str> = scenarios.iter().map(|(_, s)| s.name.as_str()).collect();
@@ -49,6 +49,7 @@ fn library_is_present_and_valid() {
         "texas_memory",
         "dstc_mid",
         "multiserver_mpl",
+        "open_arrival",
         "smoke",
     ] {
         assert!(names.contains(&expected), "missing preset '{expected}'");
@@ -112,8 +113,9 @@ fn every_preset_runs_one_replication_deterministically() {
 fn sweep_is_thread_count_invariant() {
     // The acceptance guarantee: identical output at --threads 1 vs
     // --threads 8 with the same seed. Run on the shrunken
-    // multiserver_mpl preset (the new 2-axis workload) and smoke.
-    for name in ["multiserver_mpl.toml", "smoke.toml"] {
+    // multiserver_mpl preset (2-axis closed workload), open_arrival
+    // (2-axis open workload over a time-horizon phase) and smoke.
+    for name in ["multiserver_mpl.toml", "open_arrival.toml", "smoke.toml"] {
         let path = scenarios_dir().join(name);
         let text = std::fs::read_to_string(&path).expect("scenario readable");
         let mut scenario = Scenario::parse(&text).unwrap();
@@ -122,10 +124,10 @@ fn sweep_is_thread_count_invariant() {
             let result = run_sweep(
                 &scenario,
                 &RunOptions {
-                    scheduler: Default::default(),
                     threads: Some(threads),
                     reps: Some(2),
                     seed: Some(7),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();

@@ -21,6 +21,7 @@ fn options(sched: SchedulerKind, seed: u64) -> RunOptions {
         reps: Some(2),
         seed: Some(seed),
         scheduler: sched,
+        ..RunOptions::default()
     }
 }
 

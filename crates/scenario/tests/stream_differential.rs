@@ -1,0 +1,132 @@
+//! Streaming differential tests, in the style of the PR 4 scheduler
+//! oracle: the streamed workload pipeline (lazy generation into a
+//! recycled transaction slab) must be **bit-identical** to the
+//! materialized oracle (the pre-streaming implementation: the whole
+//! run built as a `Vec<Transaction>` up front) on every configuration
+//! where both exist — count-based phases — across sweep points,
+//! replications, schedulers and thread counts.
+
+use scenario::{run_sweep, sweep_table, RunOptions, Scenario, SchedulerKind};
+use std::path::PathBuf;
+
+fn preset(name: &str) -> Scenario {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../scenarios/{name}"));
+    let text = std::fs::read_to_string(&path).expect("scenario readable");
+    Scenario::parse(&text).expect("scenario valid")
+}
+
+#[test]
+fn streamed_sweep_is_bit_identical_to_materialized_oracle() {
+    // The full smoke scenario: object-base generation, workload
+    // streams, the whole VOODB model. Several seeds vary buffer
+    // contention and clustering decisions.
+    let scenario = preset("smoke.toml");
+    for seed in [11u64, 42, 97] {
+        let run = |materialized: bool| {
+            let result = run_sweep(
+                &scenario,
+                &RunOptions {
+                    threads: Some(2),
+                    reps: Some(2),
+                    seed: Some(seed),
+                    materialized,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("sweep runs");
+            (
+                sweep_table(&result).to_csv(),
+                sweep_table(&result).to_json(),
+            )
+        };
+        let (streamed_csv, streamed_json) = run(false);
+        let (oracle_csv, oracle_json) = run(true);
+        assert_eq!(
+            streamed_csv, oracle_csv,
+            "seed {seed}: streamed CSV diverged from the materialized oracle"
+        );
+        assert_eq!(streamed_json, oracle_json, "seed {seed}: JSON diverged");
+    }
+}
+
+#[test]
+fn streamed_oracle_equivalence_holds_on_the_heap_scheduler_too() {
+    let scenario = preset("smoke.toml");
+    let run = |materialized: bool| {
+        let result = run_sweep(
+            &scenario,
+            &RunOptions {
+                reps: Some(2),
+                seed: Some(7),
+                scheduler: SchedulerKind::Heap,
+                materialized,
+                ..RunOptions::default()
+            },
+        )
+        .expect("sweep runs");
+        sweep_table(&result).to_csv()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn materializing_a_horizon_phase_is_rejected() {
+    let scenario = preset("open_arrival.toml");
+    let err = run_sweep(
+        &scenario,
+        &RunOptions {
+            reps: Some(1),
+            materialized: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect_err("horizon phases cannot be materialized");
+    assert!(err.contains("materialized"), "{err}");
+}
+
+#[test]
+fn duration_override_turns_a_count_phase_into_a_horizon_phase() {
+    let mut scenario = preset("smoke.toml");
+    scenario.shrink_for_smoke(400, 20, 2);
+    let count = run_sweep(
+        &scenario,
+        &RunOptions {
+            reps: Some(1),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let horizon = run_sweep(
+        &scenario,
+        &RunOptions {
+            reps: Some(1),
+            duration_ms: Some(1_000.0),
+            warmup_ms: Some(100.0),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(count.points.len(), horizon.points.len());
+    // The horizon run is a different experiment (time-bounded window),
+    // but remains deterministic.
+    let again = run_sweep(
+        &scenario,
+        &RunOptions {
+            reps: Some(1),
+            duration_ms: Some(1_000.0),
+            warmup_ms: Some(100.0),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        sweep_table(&horizon).to_csv(),
+        sweep_table(&again).to_csv(),
+        "horizon runs must reproduce"
+    );
+    assert_ne!(
+        sweep_table(&count).to_csv(),
+        sweep_table(&horizon).to_csv(),
+        "a 1s horizon must cut the run short"
+    );
+}

@@ -153,8 +153,12 @@ pub fn direction_of(metric: &str) -> Direction {
         // scheduler variants ("..._events_per_sec_heap"/"_noop") carry
         // a trailing qualifier.
         _ if metric.contains("_events_per_sec") => Direction::LowerWorse,
+        _ if metric.contains("_tx_per_sec") => Direction::LowerWorse,
         _ if metric.ends_with("_overhead_pct") => Direction::HigherWorse,
         _ if metric.ends_with("_speedup_x") => Direction::LowerWorse,
+        // Streaming-pipeline memory: peak in-flight transaction slots
+        // growing means the O(MPL) guarantee is eroding.
+        _ if metric.ends_with("_peak_slots") => Direction::HigherWorse,
         "ios" | "reads" | "writes" | "ios_per_tx" | "events" | "restarts" => Direction::HigherWorse,
         _ => Direction::Neutral,
     }
@@ -392,6 +396,18 @@ mod tests {
         assert_eq!(
             direction_of("kernel_calendar_speedup_x"),
             Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("workload_gen_tx_per_sec"),
+            Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("stream_phase_tx_per_sec"),
+            Direction::LowerWorse
+        );
+        assert_eq!(
+            direction_of("stream_slab_peak_slots"),
+            Direction::HigherWorse
         );
         assert_eq!(direction_of("traced_spans_per_run"), Direction::Neutral);
     }
