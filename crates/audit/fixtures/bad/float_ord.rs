@@ -1,0 +1,5 @@
+// Known-bad: NaN-unsound float ordering.
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}

@@ -1,0 +1,26 @@
+// Known-bad: iteration over hash-ordered containers in a
+// result-affecting crate (audited under a crates/core path).
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    entries: HashMap<u64, u64>,
+    live: HashSet<u64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, value) in &self.entries {
+            sum += *value;
+        }
+        sum
+    }
+
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+
+    pub fn prune(&mut self) {
+        self.live.retain(|id| *id != 0);
+    }
+}

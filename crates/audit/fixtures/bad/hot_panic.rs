@@ -1,0 +1,8 @@
+// Known-bad: aborts on a hot-path file (audited under the engine path).
+pub fn dispatch(next: Option<u64>) -> u64 {
+    let event = next.unwrap();
+    if event == 0 {
+        panic!("empty schedule");
+    }
+    event
+}

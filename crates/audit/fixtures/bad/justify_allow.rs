@@ -1,0 +1,4 @@
+// Known-bad: a lint opt-out with no explanation.
+
+#[allow(dead_code)]
+fn scratch() {}

@@ -1,0 +1,5 @@
+// Known-bad: unsafe without a SAFETY argument. (The workspace forbids
+// unsafe outright; this fixture keeps the rule exercised.)
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+// Known-bad: RNGs seeded from the environment, not the scenario seed.
+use rand::thread_rng;
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

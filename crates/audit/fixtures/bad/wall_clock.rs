@@ -1,0 +1,12 @@
+// Known-bad: wall-clock and environment reads in library code.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(work: F) -> f64 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn output_dir() -> String {
+    std::env::var("VOODB_OUT").unwrap_or_default()
+}

@@ -1,0 +1,23 @@
+// Known-clean twin: total_cmp for float orderings; a PartialOrd impl
+// delegating to Ord is exempt (it defines, not calls, partial_cmp).
+use std::cmp::Ordering;
+
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[derive(PartialEq, Eq)]
+pub struct Key(u64);
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}

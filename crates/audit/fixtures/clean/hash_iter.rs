@@ -1,0 +1,37 @@
+// Known-clean twin: ordered containers where iteration order matters,
+// hash containers for point lookups only, and one justified scan.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub struct Registry {
+    entries: BTreeMap<u64, u64>,
+    live: BTreeSet<u64>,
+    index: HashMap<u64, usize>,
+}
+
+impl Registry {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, value) in &self.entries {
+            sum += *value;
+        }
+        sum
+    }
+
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+
+    pub fn prune(&mut self) {
+        self.live.retain(|id| *id != 0);
+    }
+
+    pub fn lookup(&self, id: u64) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    pub fn index_keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.index.keys().copied().collect(); // audit: sorted below
+        keys.sort_unstable();
+        keys
+    }
+}

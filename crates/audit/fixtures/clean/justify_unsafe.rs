@@ -1,0 +1,5 @@
+// Known-clean twin: the unsafe block argues its safety.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points into a live allocation.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// Known-clean twin: every stream derives from an explicit u64 seed.
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,13 @@
+// Known-clean twin: time comes from the simulated clock; host reads
+// stay inside test code.
+pub fn measure(clock_before_ms: f64, clock_after_ms: f64) -> f64 {
+    clock_after_ms - clock_before_ms
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_reads_are_fine_in_tests() {
+        let _ = std::env::var("VOODB_OUT");
+    }
+}

@@ -1,0 +1,421 @@
+//! A hand-rolled lexer for Rust source, in the same spirit as the
+//! repo's TOML and JSON parsers (`scenario::toml`, `vtrace::json`): no
+//! `syn`, no `proc-macro2` — the vendored/offline dependency policy
+//! holds for the auditor too.
+//!
+//! The rules in [`crate::rules`] never need expression-level parsing;
+//! they need a token stream that is *correct about what is code and
+//! what is not*. So the lexer's whole job is classifying bytes into
+//! identifiers, punctuation, literals and comments while getting the
+//! hard cases right: nested block comments, raw strings with hash
+//! fences, byte strings, char literals vs. lifetimes, and line
+//! numbers for diagnostics.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// One punctuation byte (`.`, `:`, `#`, `{`, …). Multi-byte
+    /// operators arrive as consecutive tokens; the rules only ever
+    /// match single bytes.
+    Punct,
+    /// String/char/byte/numeric literal (contents opaque).
+    Literal,
+    /// Lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// `// …` comment, text including the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting folded into one token).
+    BlockComment,
+}
+
+/// One token: a classified byte range of the source plus its
+/// (1-indexed) starting line.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-indexed line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenizes `src` into idents, punctuation, literals, lifetimes and
+/// comments. Never fails: unterminated literals or comments simply
+/// extend to end-of-file (the compiler will reject such a file anyway;
+/// the auditor's job is to stay robust on it).
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.pos += 1;
+                        self.ident_body();
+                        self.push(TokKind::Lifetime, start, line);
+                    } else {
+                        self.char_literal();
+                        self.push(TokKind::Literal, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number_body();
+                    self.push(TokKind::Literal, start, line);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.ident_body();
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.toks.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `"…"` body after the opening quote, handling `\"` and `\\`.
+    fn string_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'` starting
+    /// at the current `r`/`b`. Returns false (position untouched) when
+    /// the prefix is just an identifier head (`radius`, `bytes`, raw
+    /// ident `r#ident`).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut at = self.pos + 1;
+        let mut raw = self.src[self.pos] == b'r';
+        if self.src[self.pos] == b'b' {
+            match self.src.get(at) {
+                Some(b'\'') => {
+                    // Byte char b'x'.
+                    self.pos = at;
+                    self.char_literal();
+                    return true;
+                }
+                Some(b'r') => {
+                    raw = true;
+                    at += 1;
+                }
+                _ => {}
+            }
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.src.get(at + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if self.src.get(at + hashes) != Some(&b'"') {
+                return false; // `r#ident` or plain identifier.
+            }
+            self.pos = at + hashes + 1;
+            self.raw_string_body(hashes);
+            true
+        } else {
+            if self.src.get(at) != Some(&b'"') {
+                return false;
+            }
+            self.pos = at + 1;
+            self.string_body();
+            true
+        }
+    }
+
+    /// Raw-string body: ends at `"` followed by `hashes` `#`s, no
+    /// escapes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    let after = &self.src[self.pos + 1..];
+                    if after.len() >= hashes && after[..hashes].iter().all(|&h| h == b'#') {
+                        self.pos += 1 + hashes;
+                        return;
+                    }
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal) at a
+    /// `'`: it is a lifetime iff an ident follows and the char after
+    /// that ident is not a closing `'`.
+    fn lifetime_ahead(&self) -> bool {
+        let Some(first) = self.peek(1) else {
+            return false;
+        };
+        if !(first == b'_' || first.is_ascii_alphabetic()) {
+            return false;
+        }
+        let mut at = self.pos + 2;
+        while self
+            .src
+            .get(at)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            at += 1;
+        }
+        self.src.get(at) != Some(&b'\'')
+    }
+
+    /// `'x'` / `'\n'` body including both quotes.
+    fn char_literal(&mut self) {
+        self.pos += 1; // opening '
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // Unterminated; don't eat the file.
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn ident_body(&mut self) {
+        // Raw-ident fence consumed as part of the name.
+        if self.src[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Numeric literal: digits, underscores, type suffixes, `0x…`,
+    /// floats. A `.` is consumed only when followed by a digit, so
+    /// ranges (`0..10`) and method calls on literals (`1.max(x)`) stay
+    /// separate tokens.
+    fn number_body(&mut self) {
+        self.pos += 1;
+        while let Some(b) = self.src.get(self.pos).copied() {
+            if b == b'_'
+                || b.is_ascii_alphanumeric()
+                || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Literal, "42".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_dots_are_not_part_of_numbers() {
+        let toks = kinds("0..10");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].1, "0");
+        assert_eq!(toks[3].1, "10");
+        let float = kinds("1.5e3_f64");
+        assert_eq!(float, vec![(TokKind::Literal, "1.5e3_f64".into())]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // A brace and a comment inside a string must not leak out.
+        let toks = kinds(r#"let s = "{ // not a comment";"#);
+        assert_eq!(toks[3].0, TokKind::Literal);
+        assert!(toks.iter().all(|t| t.0 != TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"let s = r#"quote " inside"#;"###);
+        assert_eq!(toks[3].0, TokKind::Literal);
+        assert_eq!(toks[4].1, ";");
+        let toks = kinds(r###"b"bytes" br#"raw"# b'x'"###);
+        assert!(toks.iter().all(|t| t.0 == TokKind::Literal));
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn raw_idents_are_idents() {
+        let toks = kinds("r#type radius");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "r#type".into()),
+                (TokKind::Ident, "radius".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str '\\n' 'x' 'static");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'a".into()));
+        assert_eq!(toks[3], (TokKind::Literal, "'\\n'".into()));
+        assert_eq!(toks[4], (TokKind::Literal, "'x'".into()));
+        assert_eq!(toks[5], (TokKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_fold() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\ning\"\nc";
+        let toks = tokenize(src);
+        let of = |text: &str| {
+            toks.iter()
+                .find(|t| t.text(src) == text)
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(of("a"), 1);
+        assert_eq!(of("b"), 4);
+        assert_eq!(of("c"), 6);
+    }
+}

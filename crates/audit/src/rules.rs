@@ -1,0 +1,870 @@
+//! The determinism rules and the brace/item-aware walker they share.
+//!
+//! Every rule is a named pass over the token stream of one file,
+//! producing [`Violation`]s with `file:line` positions. The walker
+//! pre-computes the context the rules need:
+//!
+//! * which tokens sit inside `#[cfg(test)]` items or `#[test]`
+//!   functions (test code is exempt from every rule),
+//! * which lines carry an `// audit: <reason>` justification comment
+//!   (the escape hatch: a justified line, or the line right below a
+//!   justification, is never flagged),
+//! * which lines carry *any* comment (the weaker adjacency the
+//!   `justify-allow` rule accepts).
+//!
+//! The pass is deliberately token-level, not type-level: it cannot see
+//! through aliases (`type Map = HashMap<…>`) or flag iteration on a
+//! hash map returned from a method chain. Those limits are documented
+//! in the README; the differential tests remain the dynamic backstop.
+
+use crate::lex::{tokenize, Tok, TokKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Crates whose code determines simulation results: a nondeterministic
+/// iteration order here changes replay output byte-for-byte.
+pub const RESULT_CRATES: &[&str] = &["desp", "core", "ocb", "bufmgr", "clustering", "oostore"];
+
+/// Files forming the event-dispatch / transaction-slab hot path, where
+/// a stray `unwrap` turns a recoverable modelling bug into an abort.
+pub const HOT_PATH_FILES: &[&str] = &["crates/desp/src/engine.rs", "crates/core/src/txslab.rs"];
+
+/// Iteration methods whose order is arbitrary on `HashMap`/`HashSet`.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// RNG constructors that seed from the environment instead of a
+/// replayable `u64`.
+const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+
+/// The names of every rule, in diagnostic order.
+pub const RULE_NAMES: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "unseeded-rng",
+    "float-ord",
+    "justify-unsafe",
+    "justify-allow",
+    "hot-panic",
+];
+
+/// One diagnostic: a rule violated at a position.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Pre-lexed, context-annotated view of one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    src: &'a str,
+    /// All tokens, comments included.
+    toks: Vec<Tok>,
+    /// Indices into `toks` of the non-comment tokens.
+    code: Vec<usize>,
+    /// Per-`toks` index: inside a `#[cfg(test)]` item or `#[test]` fn.
+    in_test: Vec<bool>,
+    /// Lines excused by an `// audit: <reason>` comment (the comment's
+    /// own line and the line after it).
+    justified: BTreeSet<u32>,
+    /// Lines carrying any comment at all.
+    commented: BTreeSet<u32>,
+    crate_name: &'a str,
+    is_bin: bool,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes `src` and computes the rule context. `path` must be the
+    /// workspace-relative path (it determines the crate, whether the
+    /// file is a CLI binary, and whether it is on the hot-path list).
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let toks = tokenize(src);
+        let code: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect();
+        let mut justified = BTreeSet::new();
+        let mut commented = BTreeSet::new();
+        for t in &toks {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                commented.insert(t.line);
+                if t.text(src).contains("audit:") {
+                    justified.insert(t.line);
+                    justified.insert(t.line + 1);
+                }
+            }
+        }
+        let crate_name = path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("");
+        let is_bin = path.contains("/bin/") || path.ends_with("/main.rs");
+        let mut ctx = FileContext {
+            path,
+            src,
+            in_test: vec![false; toks.len()],
+            toks,
+            code,
+            justified,
+            commented,
+            crate_name,
+            is_bin,
+        };
+        ctx.mark_test_regions();
+        ctx
+    }
+
+    /// Runs every rule over the file.
+    pub fn check(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.rule_hash_iter(&mut out);
+        self.rule_wall_clock(&mut out);
+        self.rule_unseeded_rng(&mut out);
+        self.rule_float_ord(&mut out);
+        self.rule_justify(&mut out);
+        self.rule_hot_panic(&mut out);
+        out.sort();
+        out
+    }
+
+    // ---- shared token helpers -------------------------------------------
+
+    fn tok(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        self.tok(ci).text(self.src)
+    }
+
+    fn is_ident(&self, ci: usize, word: &str) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokKind::Ident && t.text(self.src) == word
+    }
+
+    fn is_punct(&self, ci: usize, p: char) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokKind::Punct && self.src.as_bytes()[t.start] == p as u8
+    }
+
+    fn in_test(&self, ci: usize) -> bool {
+        self.in_test[self.code[ci]]
+    }
+
+    fn is_justified(&self, line: u32) -> bool {
+        self.justified.contains(&line)
+    }
+
+    fn flag(&self, out: &mut Vec<Violation>, ci: usize, rule: &'static str, message: String) {
+        out.push(Violation {
+            file: self.path.to_owned(),
+            line: self.tok(ci).line,
+            rule,
+            message,
+        });
+    }
+
+    /// Marks every token belonging to a `#[cfg(test)]` item or a
+    /// `#[test]`/`#[bench]` function. An item extends to the first `;`
+    /// before any brace, or to the matching `}` of its first block.
+    fn mark_test_regions(&mut self) {
+        let mut ci = 0;
+        while ci < self.code.len() {
+            if self.is_punct(ci, '#') && self.attr_is_test(ci) {
+                let start = ci;
+                let end = self.item_end(ci);
+                for &ti in &self.code[start..end] {
+                    self.in_test[ti] = true;
+                }
+                ci = end;
+            } else {
+                ci += 1;
+            }
+        }
+    }
+
+    /// Is the attribute starting at `#` a test marker? Matches
+    /// `#[test]`, `#[cfg(test)]`, and any `#[cfg(...)]` whose argument
+    /// list mentions `test` (`all(test, …)`).
+    fn attr_is_test(&self, hash_ci: usize) -> bool {
+        let mut ci = hash_ci + 1;
+        if ci < self.code.len() && self.is_punct(ci, '!') {
+            ci += 1;
+        }
+        if ci >= self.code.len() || !self.is_punct(ci, '[') {
+            return false;
+        }
+        // Scan the bracketed attribute body.
+        let mut depth = 0usize;
+        let mut saw_cfg = false;
+        let mut first_ident = true;
+        for at in ci..self.code.len() {
+            if self.is_punct(at, '[') {
+                depth += 1;
+            } else if self.is_punct(at, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            } else if self.tok(at).kind == TokKind::Ident {
+                let word = self.text(at);
+                if first_ident {
+                    first_ident = false;
+                    match word {
+                        "test" | "bench" => return true,
+                        "cfg" => saw_cfg = true,
+                        _ => return false,
+                    }
+                } else if saw_cfg && word == "test" {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Code-token index one past the item introduced at `ci` (an
+    /// attribute `#`): skips consecutive attributes, then runs to the
+    /// first top-level `;` or the matching `}` of the first block.
+    fn item_end(&self, mut ci: usize) -> usize {
+        // Skip the stack of attributes.
+        while ci < self.code.len() && self.is_punct(ci, '#') {
+            let mut at = ci + 1;
+            if at < self.code.len() && self.is_punct(at, '!') {
+                at += 1;
+            }
+            if at >= self.code.len() || !self.is_punct(at, '[') {
+                break;
+            }
+            let mut depth = 0usize;
+            while at < self.code.len() {
+                if self.is_punct(at, '[') {
+                    depth += 1;
+                } else if self.is_punct(at, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                at += 1;
+            }
+            ci = at + 1;
+        }
+        // The item body.
+        let mut depth = 0usize;
+        while ci < self.code.len() {
+            if self.is_punct(ci, '{') {
+                depth += 1;
+            } else if self.is_punct(ci, '}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return ci + 1;
+                }
+            } else if self.is_punct(ci, ';') && depth == 0 {
+                return ci + 1;
+            }
+            ci += 1;
+        }
+        self.code.len()
+    }
+
+    /// Identifiers this file binds to a `HashMap`/`HashSet`: struct
+    /// fields and typed bindings (`name: HashMap<…>`, through `&`,
+    /// `mut` and path prefixes) plus inferred lets
+    /// (`let name = HashMap::new()`).
+    fn hash_names(&self) -> BTreeSet<&str> {
+        let mut names = BTreeSet::new();
+        for ci in 0..self.code.len() {
+            // `name : [& 'a mut std :: collections ::] Hash{Map,Set}`
+            if self.is_punct(ci, ':')
+                && ci > 0
+                && self.tok(ci - 1).kind == TokKind::Ident
+                && !(ci >= 2 && self.is_punct(ci - 2, ':'))
+            {
+                let mut at = ci + 1;
+                // A second ':' means the path separator `::`, not a
+                // type ascription.
+                if at < self.code.len() && self.is_punct(at, ':') {
+                    continue;
+                }
+                while at < self.code.len() {
+                    if self.is_punct(at, '&')
+                        || self.is_punct(at, ':')
+                        || self.tok(at).kind == TokKind::Lifetime
+                        || self.is_ident(at, "mut")
+                        || self.is_ident(at, "std")
+                        || self.is_ident(at, "collections")
+                    {
+                        at += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if at < self.code.len()
+                    && (self.is_ident(at, "HashMap") || self.is_ident(at, "HashSet"))
+                {
+                    names.insert(self.text(ci - 1));
+                }
+            }
+            // `let [mut] name = … Hash{Map,Set} :: ctor … ;`
+            if self.is_ident(ci, "let") {
+                let mut at = ci + 1;
+                if at < self.code.len() && self.is_ident(at, "mut") {
+                    at += 1;
+                }
+                if at >= self.code.len() || self.tok(at).kind != TokKind::Ident {
+                    continue;
+                }
+                let name = self.text(at);
+                if at + 1 >= self.code.len() || !self.is_punct(at + 1, '=') {
+                    continue; // Typed lets are handled above.
+                }
+                let mut scan = at + 2;
+                while scan < self.code.len() && !self.is_punct(scan, ';') {
+                    if (self.is_ident(scan, "HashMap") || self.is_ident(scan, "HashSet"))
+                        && scan + 1 < self.code.len()
+                        && self.is_punct(scan + 1, ':')
+                    {
+                        names.insert(name);
+                        break;
+                    }
+                    scan += 1;
+                }
+            }
+        }
+        names
+    }
+
+    // ---- rule 1: hash-iter ----------------------------------------------
+
+    /// No iteration over `HashMap`/`HashSet` in result-affecting
+    /// crates: SipHash seeds differ between processes, so iteration
+    /// order there is not a function of the simulation seed.
+    fn rule_hash_iter(&self, out: &mut Vec<Violation>) {
+        if !RESULT_CRATES.contains(&self.crate_name) {
+            return;
+        }
+        let names = self.hash_names();
+        if names.is_empty() {
+            return;
+        }
+        let receiver = |ci: usize| -> Option<&str> {
+            // `name . method` or `self . name . method`; `ci` is `.`.
+            if ci == 0 || self.tok(ci - 1).kind != TokKind::Ident {
+                return None;
+            }
+            let name = self.text(ci - 1);
+            names.get(name).copied()
+        };
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) || self.is_justified(self.tok(ci).line) {
+                continue;
+            }
+            // `recv.iter()`-style calls.
+            if self.is_punct(ci, '.')
+                && ci + 2 < self.code.len()
+                && self.tok(ci + 1).kind == TokKind::Ident
+                && ITER_METHODS.contains(&self.text(ci + 1))
+                && self.is_punct(ci + 2, '(')
+            {
+                if let Some(name) = receiver(ci) {
+                    self.flag(
+                        out,
+                        ci + 1,
+                        "hash-iter",
+                        format!(
+                            "iteration over hash-ordered `{name}` via `.{}()` — order \
+                             depends on the SipHash seed, not the simulation seed; use \
+                             `BTreeMap`/`BTreeSet`, sort first, or justify with \
+                             `// audit: sorted <why>`",
+                            self.text(ci + 1)
+                        ),
+                    );
+                }
+            }
+            // `for pat in [&[mut]] [self.]name {`.
+            if self.is_ident(ci, "for") {
+                let mut at = ci + 1;
+                let mut depth = 0usize;
+                let mut found_in = None;
+                while at < self.code.len() {
+                    if self.is_punct(at, '(') || self.is_punct(at, '[') {
+                        depth += 1;
+                    } else if self.is_punct(at, ')') || self.is_punct(at, ']') {
+                        depth = depth.saturating_sub(1);
+                    } else if self.is_punct(at, '{') {
+                        break; // `impl … for T {` or loop body reached.
+                    } else if depth == 0 && self.is_ident(at, "in") {
+                        found_in = Some(at);
+                        break;
+                    }
+                    at += 1;
+                }
+                let Some(in_at) = found_in else { continue };
+                // Expression tokens up to the body brace.
+                let mut expr = Vec::new();
+                let mut at = in_at + 1;
+                while at < self.code.len() && !self.is_punct(at, '{') {
+                    expr.push(at);
+                    at += 1;
+                }
+                // Strip `&`, `mut`, leading `self .`.
+                let core: Vec<usize> = expr
+                    .into_iter()
+                    .filter(|&e| {
+                        !(self.is_punct(e, '&')
+                            || self.is_ident(e, "mut")
+                            || self.is_ident(e, "self")
+                            || self.is_punct(e, '.'))
+                    })
+                    .collect();
+                if let [single] = core[..] {
+                    if self.tok(single).kind == TokKind::Ident {
+                        if let Some(name) = names.get(self.text(single)) {
+                            self.flag(
+                                out,
+                                single,
+                                "hash-iter",
+                                format!(
+                                    "`for … in` over hash-ordered `{name}` — order depends \
+                                     on the SipHash seed, not the simulation seed; use \
+                                     `BTreeMap`/`BTreeSet`, sort first, or justify with \
+                                     `// audit: sorted <why>`"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- rule 2: wall-clock ---------------------------------------------
+
+    /// No wall-clock or environment reads outside bench/CLI timing
+    /// code: a replayed run must not observe the host.
+    fn rule_wall_clock(&self, out: &mut Vec<Violation>) {
+        if self.crate_name == "bench" || self.is_bin {
+            return;
+        }
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) || self.is_justified(self.tok(ci).line) {
+                continue;
+            }
+            let word = if self.tok(ci).kind == TokKind::Ident {
+                self.text(ci)
+            } else {
+                continue;
+            };
+            if word == "Instant" || word == "SystemTime" {
+                self.flag(
+                    out,
+                    ci,
+                    "wall-clock",
+                    format!(
+                        "`{word}` outside bench/CLI code — simulated time must come \
+                         from `SimTime`, never the host clock"
+                    ),
+                );
+            }
+            if word == "env"
+                && ci + 3 < self.code.len()
+                && self.is_punct(ci + 1, ':')
+                && self.is_punct(ci + 2, ':')
+                && ["var", "vars", "var_os"].contains(&self.text(ci + 3))
+            {
+                self.flag(
+                    out,
+                    ci,
+                    "wall-clock",
+                    format!(
+                        "environment read `env::{}` outside bench/CLI code — results \
+                         must be a function of the scenario and seed only",
+                        self.text(ci + 3)
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- rule 3: unseeded-rng -------------------------------------------
+
+    /// Every RNG must be constructed from an explicit `u64` seed.
+    fn rule_unseeded_rng(&self, out: &mut Vec<Violation>) {
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) || self.is_justified(self.tok(ci).line) {
+                continue;
+            }
+            if self.tok(ci).kind != TokKind::Ident {
+                continue;
+            }
+            let word = self.text(ci);
+            let def = ci > 0 && self.is_ident(ci - 1, "fn");
+            if UNSEEDED_RNG.contains(&word) && !def {
+                self.flag(
+                    out,
+                    ci,
+                    "unseeded-rng",
+                    format!(
+                        "`{word}` constructs an environment-seeded RNG — replications \
+                         must derive every stream from the scenario's `u64` seed \
+                         (`RandomStream::new` / `seed_from_u64`)"
+                    ),
+                );
+            }
+            if word == "rand"
+                && ci + 3 < self.code.len()
+                && self.is_punct(ci + 1, ':')
+                && self.is_punct(ci + 2, ':')
+                && self.is_ident(ci + 3, "random")
+            {
+                self.flag(
+                    out,
+                    ci,
+                    "unseeded-rng",
+                    "`rand::random` draws from the thread-local RNG — replications \
+                     must derive every stream from the scenario's `u64` seed"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+
+    // ---- rule 4: float-ord ----------------------------------------------
+
+    /// Float comparisons must use `total_cmp`: `partial_cmp(..)` on
+    /// floats panics on NaN or silently yields `None`-driven orders
+    /// that differ from the packed-key orders the schedulers use.
+    fn rule_float_ord(&self, out: &mut Vec<Violation>) {
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) || self.is_justified(self.tok(ci).line) {
+                continue;
+            }
+            if self.is_ident(ci, "partial_cmp")
+                && ci > 0
+                && self.is_punct(ci - 1, '.')
+                && !(ci > 1 && self.is_ident(ci - 2, "fn"))
+            {
+                self.flag(
+                    out,
+                    ci,
+                    "float-ord",
+                    "`.partial_cmp(..)` call — float orderings must use `total_cmp` \
+                     (the packed-u128 time key in `desp::sched` is the precedent); \
+                     `PartialOrd` impls delegating to `Ord` are exempt"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+
+    // ---- rule 5: justify-unsafe / justify-allow --------------------------
+
+    /// `unsafe` needs a `SAFETY`/`audit:` comment; `#[allow(..)]` needs
+    /// any adjacent comment saying why.
+    fn rule_justify(&self, out: &mut Vec<Violation>) {
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) {
+                continue;
+            }
+            let line = self.tok(ci).line;
+            if self.is_ident(ci, "unsafe") {
+                let justified = self.is_justified(line)
+                    || [line.saturating_sub(1), line].iter().any(|l| {
+                        self.commented.contains(l)
+                            && self
+                                .toks
+                                .iter()
+                                .filter(|t| {
+                                    t.line == *l
+                                        && matches!(
+                                            t.kind,
+                                            TokKind::LineComment | TokKind::BlockComment
+                                        )
+                                })
+                                .any(|t| {
+                                    let text = t.text(self.src).to_ascii_lowercase();
+                                    text.contains("safety") || text.contains("audit:")
+                                })
+                    });
+                if !justified {
+                    self.flag(
+                        out,
+                        ci,
+                        "justify-unsafe",
+                        "`unsafe` without a `// SAFETY: …` justification — the \
+                         workspace forbids unsafe code (`unsafe_code = \"forbid\"`); \
+                         if that is ever relaxed, every block must argue its safety"
+                            .to_owned(),
+                    );
+                }
+            }
+            // `#[allow(…)]` / `#![allow(…)]`.
+            if self.is_punct(ci, '#') {
+                let mut at = ci + 1;
+                if at < self.code.len() && self.is_punct(at, '!') {
+                    at += 1;
+                }
+                if at + 1 < self.code.len()
+                    && self.is_punct(at, '[')
+                    && self.is_ident(at + 1, "allow")
+                {
+                    let adjacent_comment = self.commented.contains(&line)
+                        || self.commented.contains(&line.saturating_sub(1));
+                    if !adjacent_comment {
+                        self.flag(
+                            out,
+                            ci,
+                            "justify-allow",
+                            "`#[allow(..)]` without an adjacent comment — every lint \
+                             opt-out must say why (same line or the line above)"
+                                .to_owned(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- rule 6: hot-panic ----------------------------------------------
+
+    /// No `unwrap`/`expect`/`panic!` on the dispatch and slab hot
+    /// paths: these files run once per event; failures there must
+    /// surface as results, not aborts.
+    fn rule_hot_panic(&self, out: &mut Vec<Violation>) {
+        if !HOT_PATH_FILES.contains(&self.path) {
+            return;
+        }
+        for ci in 0..self.code.len() {
+            if self.in_test(ci) || self.is_justified(self.tok(ci).line) {
+                continue;
+            }
+            if self.is_punct(ci, '.')
+                && ci + 2 < self.code.len()
+                && self.is_punct(ci + 2, '(')
+                && (self.is_ident(ci + 1, "unwrap") || self.is_ident(ci + 1, "expect"))
+            {
+                self.flag(
+                    out,
+                    ci + 1,
+                    "hot-panic",
+                    format!(
+                        "`.{}(..)` on a hot-path file — dispatch and slab code must \
+                         not abort; propagate or use `debug_assert!`",
+                        self.text(ci + 1)
+                    ),
+                );
+            }
+            if self.tok(ci).kind == TokKind::Ident
+                && ci + 1 < self.code.len()
+                && self.is_punct(ci + 1, '!')
+                && ["panic", "unreachable", "todo", "unimplemented"].contains(&self.text(ci))
+            {
+                self.flag(
+                    out,
+                    ci,
+                    "hot-panic",
+                    format!(
+                        "`{}!` on a hot-path file — dispatch and slab code must not \
+                         abort; propagate or use `debug_assert!`",
+                        self.text(ci)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        FileContext::new(path, src).check()
+    }
+
+    const CORE: &str = "crates/core/src/x.rs";
+
+    #[test]
+    fn hash_iteration_flagged_in_result_crates_only() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for k in self.m.keys() { let _ = k; } } }\n";
+        let v = check(CORE, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hash-iter");
+        assert_eq!(v[0].line, 2);
+        assert!(check("crates/trace/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_flagged() {
+        let src = "struct S { set: HashSet<u32> }\n\
+                   impl S { fn f(&self) { for k in &self.set { let _ = k; } } }\n";
+        let v = check(CORE, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hash-iter");
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = "struct S { m: BTreeMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for k in self.m.keys() { let _ = k; } } }\n";
+        assert!(check(CORE, src).is_empty());
+    }
+
+    #[test]
+    fn justification_comment_excuses_the_line() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) -> Vec<u32> {\n\
+                   // audit: sorted — collected then sort_unstable'd below\n\
+                   let mut v: Vec<u32> = self.m.keys().copied().collect();\n\
+                   v.sort_unstable(); v } }\n";
+        assert!(check(CORE, src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn f(s: &super::S) { for k in s.m.keys() { let _ = k; } }\n\
+                   }\n";
+        assert!(check(CORE, src).is_empty());
+    }
+
+    #[test]
+    fn inferred_let_binding_is_tracked() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2);\n\
+                   for (k, v) in &m { let _ = (k, v); } }\n";
+        let v = check(CORE, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_bench() {
+        let src = "fn f() { let t = Instant::now(); let _ = t; }\n";
+        let v = check("crates/desp/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+        assert!(check("crates/bench/src/x.rs", src).is_empty());
+        assert!(check("crates/scenario/src/bin/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_var_flagged() {
+        let src = "fn f() -> String { std::env::var(\"HOME\").unwrap_or_default() }\n";
+        let v = check("crates/scenario/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn unseeded_rng_flagged_everywhere_but_tests() {
+        let src = "fn f() { let mut rng = thread_rng(); let _ = &mut rng; }\n";
+        let v = check("crates/scenario/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unseeded-rng");
+        let test_src = "#[cfg(test)] mod t { fn f() { let _ = thread_rng(); } }\n";
+        assert!(check("crates/scenario/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_call_flagged_but_impl_exempt() {
+        let src = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let v = check("crates/desp/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-ord");
+        let impl_src = "impl PartialOrd for T {\n\
+             fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }\n}\n";
+        assert!(check("crates/desp/src/x.rs", impl_src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let v = check("crates/desp/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "justify-unsafe");
+        let good = "fn f(p: *const u8) -> u8 {\n\
+                    // SAFETY: caller guarantees p is valid\n\
+                    unsafe { *p } }\n";
+        assert!(check("crates/desp/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn allow_needs_adjacent_comment() {
+        let bad = "#[allow(dead_code)]\nfn f() {}\n";
+        let v = check("crates/desp/src/x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "justify-allow");
+        let good = "#[allow(dead_code)] // kept for the public API sketch\nfn f() {}\n";
+        assert!(check("crates/desp/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn hot_panic_only_on_hot_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = check("crates/desp/src/engine.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hot-panic");
+        assert!(check("crates/desp/src/resource.rs", src).is_empty());
+    }
+
+    #[test]
+    fn macro_panics_flagged_on_hot_files() {
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        let v = check("crates/core/src/txslab.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("panic"));
+        let dbg = "fn f(x: u32) { debug_assert!(x > 0); }\n";
+        assert!(check("crates/core/src/txslab.rs", dbg).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() -> &'static str {\n\
+                   // HashMap iteration and Instant::now are discussed here only\n\
+                   \"for k in map.keys() { Instant::now() }\"\n}\n";
+        assert!(check(CORE, src).is_empty());
+    }
+
+    #[test]
+    fn violations_sort_by_position() {
+        let src = "fn g() { let t = Instant::now(); let _ = t; }\n\
+                   fn f() { let t = SystemTime::now(); let _ = t; }\n";
+        let v = check("crates/desp/src/x.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].line < v[1].line);
+    }
+}

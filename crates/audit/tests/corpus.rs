@@ -1,0 +1,187 @@
+//! Fixture-corpus and workspace-golden tests for the determinism
+//! auditor.
+//!
+//! Each rule has a known-bad snippet that must trip it and a
+//! known-clean twin that must pass all rules. The fixtures live under
+//! `fixtures/` (not `src/`, so neither cargo nor the workspace scan
+//! touches them) and are audited under synthetic workspace paths that
+//! put them in the crate the rule governs. The final tests pin the
+//! real workspace clean and the `--json` output shape — they are the
+//! library-level equivalents of `voodb audit` and `voodb audit --json`
+//! exiting zero, in the same call-the-library style as the scenario
+//! CLI goldens.
+
+use audit::{audit_source, audit_workspace, AuditReport, Violation, RULE_NAMES};
+use std::path::PathBuf;
+
+/// (rule, synthetic path, known-bad source, known-clean source).
+const CASES: &[(&str, &str, &str, &str)] = &[
+    (
+        "hash-iter",
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/bad/hash_iter.rs"),
+        include_str!("../fixtures/clean/hash_iter.rs"),
+    ),
+    (
+        "wall-clock",
+        "crates/desp/src/fixture.rs",
+        include_str!("../fixtures/bad/wall_clock.rs"),
+        include_str!("../fixtures/clean/wall_clock.rs"),
+    ),
+    (
+        "unseeded-rng",
+        "crates/scenario/src/fixture.rs",
+        include_str!("../fixtures/bad/unseeded_rng.rs"),
+        include_str!("../fixtures/clean/unseeded_rng.rs"),
+    ),
+    (
+        "float-ord",
+        "crates/trace/src/fixture.rs",
+        include_str!("../fixtures/bad/float_ord.rs"),
+        include_str!("../fixtures/clean/float_ord.rs"),
+    ),
+    (
+        "justify-unsafe",
+        "crates/ocb/src/fixture.rs",
+        include_str!("../fixtures/bad/justify_unsafe.rs"),
+        include_str!("../fixtures/clean/justify_unsafe.rs"),
+    ),
+    (
+        "justify-allow",
+        "crates/bufmgr/src/fixture.rs",
+        include_str!("../fixtures/bad/justify_allow.rs"),
+        include_str!("../fixtures/clean/justify_allow.rs"),
+    ),
+    (
+        "hot-panic",
+        "crates/desp/src/engine.rs",
+        include_str!("../fixtures/bad/hot_panic.rs"),
+        include_str!("../fixtures/clean/hot_panic.rs"),
+    ),
+];
+
+#[test]
+fn every_rule_has_a_corpus_case() {
+    let covered: Vec<&str> = CASES.iter().map(|(rule, ..)| *rule).collect();
+    assert_eq!(covered, RULE_NAMES, "corpus must cover the rules in order");
+}
+
+#[test]
+fn bad_fixtures_trip_exactly_their_rule() {
+    for (rule, path, bad, _) in CASES {
+        let violations = audit_source(path, bad);
+        assert!(
+            !violations.is_empty(),
+            "[{rule}] bad fixture produced no violations"
+        );
+        for v in &violations {
+            assert_eq!(
+                v.rule, *rule,
+                "[{rule}] bad fixture tripped a different rule: {v}"
+            );
+            assert_eq!(v.file, *path);
+            assert!(v.line > 0, "[{rule}] violation must carry a line: {v}");
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_pass_every_rule() {
+    for (rule, path, _, clean) in CASES {
+        let violations = audit_source(path, clean);
+        assert!(
+            violations.is_empty(),
+            "[{rule}] clean fixture flagged: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_are_position_sorted() {
+    for (rule, path, bad, _) in CASES {
+        let violations = audit_source(path, bad);
+        let lines: Vec<u32> = violations.iter().map(|v| v.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "[{rule}] diagnostics must be line-sorted");
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The golden the CI gate relies on: the workspace itself audits clean.
+/// If this fails, either fix the flagged site (preferred) or carry a
+/// `// audit: <reason>` justification the reviewer can judge.
+#[test]
+fn workspace_audits_clean() {
+    let report = audit_workspace(&workspace_root()).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "workspace has determinism violations:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    let text = report.render_text();
+    assert!(text.starts_with("audit: clean — "));
+    assert!(text.ends_with(" files scanned, 7 rules, 0 violations\n"));
+}
+
+/// Pins the `--json` shape end to end: field order, rule list, empty
+/// violation array on the clean workspace.
+#[test]
+fn workspace_json_shape_is_pinned() {
+    let report = audit_workspace(&workspace_root()).expect("workspace readable");
+    let json = report.render_json();
+    let expected = format!(
+        concat!(
+            "{{\"version\":1,\"files_scanned\":{},",
+            "\"rules\":[\"hash-iter\",\"wall-clock\",\"unseeded-rng\",",
+            "\"float-ord\",\"justify-unsafe\",\"justify-allow\",",
+            "\"hot-panic\"],\"violations\":[]}}"
+        ),
+        report.files_scanned
+    );
+    assert_eq!(json, expected, "`voodb audit --json` shape drifted");
+}
+
+/// Pins the violation-object shape inside the JSON array.
+#[test]
+fn violation_json_shape_is_pinned() {
+    let report = AuditReport {
+        files_scanned: 1,
+        violations: audit_source(
+            "crates/trace/src/fixture.rs",
+            include_str!("../fixtures/bad/float_ord.rs"),
+        ),
+    };
+    let json = report.render_json();
+    assert!(
+        json.contains(
+            "\"violations\":[{\"rule\":\"float-ord\",\
+             \"file\":\"crates/trace/src/fixture.rs\",\"line\":3,\"message\":"
+        ),
+        "violation JSON shape drifted: {json}"
+    );
+}
+
+/// The report text renders one clickable `file:line: [rule]` line per
+/// violation.
+#[test]
+fn text_diagnostics_are_clickable() {
+    let violations: Vec<Violation> = audit_source(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/bad/hash_iter.rs"),
+    );
+    for v in violations {
+        let rendered = v.to_string();
+        assert!(
+            rendered.starts_with(&format!(
+                "crates/core/src/fixture.rs:{}: [hash-iter] ",
+                v.line
+            )),
+            "diagnostic format drifted: {rendered}"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! validation see the identical replacement behaviour.
 
 use crate::policy::{PageId, PolicyKind, ReplacementPolicy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of a page access against the pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,7 +59,9 @@ impl BufferStats {
 /// A buffer pool of `frames` page frames under a replacement policy.
 pub struct BufferPool {
     frames: usize,
-    resident: HashMap<PageId, bool>, // page → dirty
+    // page → dirty; a BTreeMap so every residency scan (flush_all,
+    // resident_pages) is in page order, independent of any hash seed.
+    resident: BTreeMap<PageId, bool>,
     policy: Box<dyn ReplacementPolicy>,
     stats: BufferStats,
 }
@@ -73,7 +75,7 @@ impl BufferPool {
         assert!(frames > 0, "buffer pool needs at least one frame");
         BufferPool {
             frames,
-            resident: HashMap::with_capacity(frames),
+            resident: BTreeMap::new(),
             policy: policy.build(),
             stats: BufferStats::default(),
         }
@@ -192,11 +194,12 @@ impl BufferPool {
                 }
             }
         }
-        dirty_pages.sort_unstable();
+        // `resident` iterates in page order, so `dirty_pages` is already
+        // sorted — kept explicit that callers may rely on it.
         dirty_pages
     }
 
-    /// Resident pages (unordered).
+    /// Resident pages, in ascending page order.
     pub fn resident_pages(&self) -> impl Iterator<Item = PageId> + '_ {
         self.resident.keys().copied()
     }

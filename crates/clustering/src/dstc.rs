@@ -28,8 +28,8 @@
 
 use crate::strategy::{ClusteringOutcome, ClusteringStrategy};
 use ocb::{ObjectBase, Oid};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Tuning parameters of DSTC ("Tunable" is in the name: the original paper
 /// exposes exactly these knobs).
@@ -108,14 +108,16 @@ pub struct DstcCounters {
 pub struct Dstc {
     params: DstcParams,
     /// Elementary (current observation period) transition counts.
-    observation: HashMap<(Oid, Oid), u32>,
-    /// Elementary per-object access counts.
+    /// Consolidation iterates these, so the map must be link-ordered for
+    /// replay determinism (float accumulation order reaches the weights).
+    observation: BTreeMap<(Oid, Oid), u32>,
+    /// Elementary per-object access counts (point lookups only).
     access_counts: HashMap<Oid, u32>,
-    /// Consolidated link weights.
-    consolidated: HashMap<(Oid, Oid), f64>,
+    /// Consolidated link weights, link-ordered for the same reason.
+    consolidated: BTreeMap<(Oid, Oid), f64>,
     /// Objects whose consolidated neighbourhood changed since the last
     /// reorganisation.
-    flagged: HashSet<Oid>,
+    flagged: BTreeSet<Oid>,
     accesses_this_period: u64,
     counters: DstcCounters,
 }
@@ -129,10 +131,10 @@ impl Dstc {
         params.validate().expect("invalid DSTC parameters");
         Dstc {
             params,
-            observation: HashMap::new(),
+            observation: BTreeMap::new(),
             access_counts: HashMap::new(),
-            consolidated: HashMap::new(),
-            flagged: HashSet::new(),
+            consolidated: BTreeMap::new(),
+            flagged: BTreeSet::new(),
             accesses_this_period: 0,
             counters: DstcCounters::default(),
         }

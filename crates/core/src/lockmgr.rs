@@ -27,7 +27,7 @@
 //!   model guarantees by reusing the transaction id.
 
 use ocb::Oid;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Transaction identifier (matches the model's `Tid`).
 pub type Tid = usize;
@@ -71,8 +71,10 @@ pub enum LockOutcome {
 /// One object's lock state.
 #[derive(Debug, Default)]
 struct ObjectLock {
-    /// Current holders and their modes (multiple ⇒ all Shared).
-    holders: HashMap<Tid, LockMode>,
+    /// Current holders and their modes (multiple ⇒ all Shared). The
+    /// deadlock search and wait-die scan iterate holders, so the map is
+    /// tid-ordered to keep those walks replay-deterministic.
+    holders: BTreeMap<Tid, LockMode>,
     /// FIFO wait queue.
     waiters: VecDeque<(Tid, LockMode)>,
 }
@@ -92,8 +94,9 @@ pub struct LockStats {
 #[derive(Debug, Default)]
 pub struct LockManager {
     objects: HashMap<Oid, ObjectLock>,
-    /// Objects held per transaction (for release-all).
-    held: HashMap<Tid, HashSet<Oid>>,
+    /// Objects held per transaction (for release-all, which walks the
+    /// set — BTreeSet so releases promote waiters in oid order).
+    held: HashMap<Tid, BTreeSet<Oid>>,
     /// The object each parked transaction is waiting on.
     waiting_on: HashMap<Tid, Oid>,
     stats: LockStats,
@@ -112,7 +115,7 @@ impl LockManager {
 
     /// Number of objects a transaction currently holds.
     pub fn held_count(&self, tid: Tid) -> usize {
-        self.held.get(&tid).map_or(0, HashSet::len)
+        self.held.get(&tid).map_or(0, BTreeSet::len)
     }
 
     /// Is the transaction parked on a lock?
@@ -249,10 +252,15 @@ impl LockManager {
                 lock.waiters.retain(|&(w, _)| w != tid);
             }
         }
-        let held = self.held.remove(&tid).unwrap_or_default();
         let mut resumed = Vec::new();
-        let mut touched: Vec<Oid> = held.into_iter().collect();
-        touched.sort_unstable();
+        // The per-transaction set is a BTreeSet, so this drains the held
+        // objects already in ascending oid order.
+        let touched: Vec<Oid> = self
+            .held
+            .remove(&tid)
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         for oid in touched {
             if let Some(lock) = self.objects.get_mut(&oid) {
                 lock.holders.remove(&tid);

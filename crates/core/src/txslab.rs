@@ -19,6 +19,11 @@
 //! restarts keep their serial, preserving its livelock-freedom
 //! argument).
 
+// Transaction-slab hot path: touched on every lifecycle step of every
+// transaction. No unwrap/expect/panic — enforced statically here and by
+// the `hot-panic` rule of `voodb audit`.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::lockmgr::Tid as LockTid;
 use desp::SimTime;
 use ocb::{Oid, Transaction};

@@ -19,6 +19,11 @@
 //! * **Monotone clock** — an event can never be scheduled in the past;
 //!   violations panic rather than silently corrupting the timeline.
 
+// Dispatch hot path: runs once per event, so a stray unwrap would turn a
+// recoverable modelling bug into an abort. Enforced statically here and
+// by the `hot-panic` rule of `voodb audit`.
+#![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use crate::probe::{NoProbe, Probe, SpanPoint};
 use crate::sched::{CalendarKind, QueueKind, Scheduler};
 use crate::time::SimTime;

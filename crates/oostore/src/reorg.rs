@@ -85,7 +85,8 @@ impl TexasEngine<'_> {
         // packed in cluster order.
         let old_page_count = self.disk_mut().page_count();
         let capacity = page_size - PAGE_HEADER_BYTES;
-        let mut new_phys: HashMap<Oid, PhysicalOid> = HashMap::new();
+        // Iterated when installing the new root table, so oid-ordered.
+        let mut new_phys: BTreeMap<Oid, PhysicalOid> = BTreeMap::new();
         let mut cluster_pages: Vec<Vec<Oid>> = Vec::new();
         {
             let mut current: Vec<Oid> = Vec::new();
@@ -137,7 +138,7 @@ impl TexasEngine<'_> {
         // (Serialisation uses the post-move map for refs to moved objects,
         // old locations otherwise — the scan below fixes nothing here.)
         let lookup =
-            |engine: &TexasEngine<'_>, target: Oid, new_phys: &HashMap<Oid, PhysicalOid>| {
+            |engine: &TexasEngine<'_>, target: Oid, new_phys: &BTreeMap<Oid, PhysicalOid>| {
                 new_phys
                     .get(&target)
                     .copied()

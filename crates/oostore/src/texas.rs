@@ -423,13 +423,14 @@ impl StorageEngine for TexasEngine<'_> {
 
     fn flush_memory(&mut self) {
         // Swap out dirty pages, then drop every frame (cold restart).
-        let dirty: Vec<PageId> = self
+        let mut dirty: Vec<PageId> = self
             .vm
             .state
-            .iter()
+            .iter() // audit: sorted — sort_unstable below, before any write-back
             .filter(|(_, &(s, _))| s.dirty)
             .map(|(&p, _)| p)
             .collect();
+        dirty.sort_unstable();
         for page in dirty {
             self.disk.write_back(page);
             self.counters.swap_outs += 1;

@@ -23,7 +23,7 @@ proptest! {
     ) {
         let hist = hist_of(&samples);
         let mut sorted = samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         let exact = sorted[rank - 1];
         let estimate = hist.quantile(q);
