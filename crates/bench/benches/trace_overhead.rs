@@ -27,7 +27,7 @@ use desp::{
 use ocb::{DatabaseParams, WorkloadParams};
 use std::hint::black_box;
 use voodb::{run_once_probed, run_once_sched, ExperimentConfig, VoodbParams};
-use vtrace::TraceRecorder;
+use vtrace::RecorderConfig;
 
 /// A tandem queue exercising every hook kind: arrivals contend for a
 /// 2-unit server, each job emits span points and a sample, then leaves.
@@ -55,7 +55,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for Tandem {
             Ev::Arrive => {
                 let id = self.next_id;
                 self.next_id += 1;
-                ctx.emit_span(id, SpanPoint::Submit);
+                ctx.emit_span(id as u32, id, SpanPoint::Submit);
                 self.server.request(Ev::Start(id), ctx);
                 if self.remaining > 0 {
                     self.remaining -= 1;
@@ -63,15 +63,15 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for Tandem {
                 }
             }
             Ev::Start(id) => {
-                ctx.emit_span(id, SpanPoint::Admitted);
+                ctx.emit_span(id as u32, id, SpanPoint::Admitted);
                 ctx.schedule(3.0, Ev::Finish(id));
             }
             Ev::Finish(id) => {
-                ctx.emit_span(id, SpanPoint::Committed);
+                ctx.emit_span(id as u32, id, SpanPoint::Committed);
                 self.server.release(ctx);
                 self.done += 1;
                 if ctx.tracing() {
-                    ctx.emit_sample("done", self.done as f64);
+                    ctx.emit_sample_named("done", self.done as f64);
                 }
             }
         }
@@ -116,7 +116,8 @@ fn bench_hook_overhead(c: &mut Criterion) {
     });
     group.bench_function("tandem_10k_recorder", |b| {
         b.iter(|| {
-            let mut engine = Engine::with_probe(tandem(black_box(JOBS)), TraceRecorder::new());
+            let mut engine =
+                Engine::with_probe(tandem(black_box(JOBS)), RecorderConfig::new().build());
             engine.run_to_completion();
             black_box(engine.probe().spans().len())
         })
@@ -150,7 +151,8 @@ fn bench_model_throughput(c: &mut Criterion) {
     });
     group.bench_function("voodb_smoke_recorder", |b| {
         b.iter(|| {
-            let (result, recorder) = run_once_probed(&config, black_box(42), TraceRecorder::new());
+            let (result, recorder) =
+                run_once_probed(&config, black_box(42), RecorderConfig::new().build());
             black_box((result.events, recorder.spans().len()))
         })
     });

@@ -16,7 +16,7 @@ use desp::ConfidenceInterval;
 use ocb::{DatabaseParams, WorkloadParams};
 use voodb::{run_once_probed, ExperimentConfig, SystemClass, VoodbParams};
 use voodb_bench::{replicate_map, Args, COMMON_KEYS};
-use vtrace::{Histogram, TraceRecorder};
+use vtrace::{Histogram, RecorderConfig};
 
 fn main() {
     let args = Args::from_env();
@@ -59,7 +59,8 @@ fn main() {
         // One traced run per replication yields the scalar columns and
         // the latency histogram together.
         let samples: Vec<(f64, f64, Histogram)> = replicate_map(reps, seed, |s| {
-            let (result, recorder) = run_once_probed(&config, s, TraceRecorder::new());
+            let (result, mut recorder) = run_once_probed(&config, s, RecorderConfig::new().build());
+            recorder.flush();
             let hist = recorder
                 .stage_histograms()
                 .get("response_ms")

@@ -399,8 +399,12 @@ pub fn preset_latency_once(
 ) -> vtrace::Histogram {
     let (transactions, cold_count) = generate_workload(base, wl, seed);
     let mut simulation = Simulation::new(base, preset.params(mb), wl.think_time_ms, seed);
-    let (_, recorder) =
-        simulation.run_phase_probed(transactions, cold_count, vtrace::TraceRecorder::new());
+    let (_, mut recorder) = simulation.run_phase_probed(
+        transactions,
+        cold_count,
+        vtrace::RecorderConfig::new().build(),
+    );
+    recorder.flush();
     recorder
         .stage_histograms()
         .get("response_ms")

@@ -64,7 +64,10 @@ use crate::params::{SystemClass, VoodbParams};
 use crate::results::PhaseResult;
 use crate::txslab::{Tid, TxSlab};
 use bufmgr::PrefetchPolicy;
-use desp::{Context, Model, Probe, QueueKind, RandomStream, Resource, SimTime, SpanPoint, Welford};
+use desp::{
+    Context, Model, Probe, QueueKind, RandomStream, Resource, SeriesId, SimTime, SpanPoint,
+    SpanStage, Welford,
+};
 use ocb::{Arrival, MaterializedSource, ObjectBase, Transaction, TransactionSource};
 
 /// `user` value marking open-arrival transactions (no user to resubmit).
@@ -201,6 +204,32 @@ pub struct VoodbModel<'a> {
     hazards: HazardModule,
     locks: LockManager,
     aborts: u64,
+    /// Probe series handles, re-interned at every phase start (probes
+    /// are swapped per phase) so commit-time sampling never walks a
+    /// string-keyed map.
+    series_ids: SeriesIds,
+}
+
+/// Interned probe handles for the commit-time sample series.
+#[derive(Clone, Copy)]
+struct SeriesIds {
+    hit_ratio: SeriesId,
+    active_transactions: SeriesId,
+    mpl_queue: SeriesId,
+    disk_utilization: SeriesId,
+    network_utilization: SeriesId,
+}
+
+impl Default for SeriesIds {
+    fn default() -> Self {
+        SeriesIds {
+            hit_ratio: SeriesId::INVALID,
+            active_transactions: SeriesId::INVALID,
+            mpl_queue: SeriesId::INVALID,
+            disk_utilization: SeriesId::INVALID,
+            network_utilization: SeriesId::INVALID,
+        }
+    }
 }
 
 impl<'a> VoodbModel<'a> {
@@ -263,6 +292,7 @@ impl<'a> VoodbModel<'a> {
             hazards,
             locks: LockManager::new(),
             aborts: 0,
+            series_ids: SeriesIds::default(),
         }
     }
 
@@ -286,9 +316,13 @@ impl<'a> VoodbModel<'a> {
     ) {
         let t = self.slab.get_mut(tid);
         let oid = t.current().oid;
-        let serial = t.serial;
         let needs_lock_time = t.lock(oid);
-        ctx.emit_span(serial as u64, SpanPoint::LockGranted);
+        if ctx.tracing() {
+            // Grant instant minus the request instant saved at
+            // StartAccess — the operands a point-pairing probe folds.
+            let waited = ctx.now().as_ms() - t.marks.lock_req_ms;
+            t.marks.lock_wait_ms += waited;
+        }
         if needs_lock_time && self.params.get_lock_ms > 0.0 {
             self.cpu.request(Event::LockCpu(tid), ctx);
         } else {
@@ -306,7 +340,7 @@ impl<'a> VoodbModel<'a> {
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
         let serial = self.slab.get(tid).serial;
-        ctx.emit_span(serial as u64, SpanPoint::Restart);
+        ctx.emit_span(tid as u32, serial as u64, SpanPoint::Restart);
         self.aborts += 1;
         let resumed = self.locks.release_all(serial);
         for other in resumed {
@@ -591,7 +625,7 @@ impl<'a> VoodbModel<'a> {
             PhaseMode::Horizon { .. } => false,
         };
         self.slab.commit(tid, serial, user, ctx.now(), measured);
-        ctx.emit_span(serial as u64, SpanPoint::Submit);
+        ctx.emit_span(tid as u32, serial as u64, SpanPoint::Submit);
         // Transaction Manager admission through the scheduler (MPL).
         self.scheduler.request(Event::Admitted(tid), ctx);
         true
@@ -628,8 +662,9 @@ impl<'a> VoodbModel<'a> {
         } else {
             let t = self.slab.get_mut(tid);
             t.pending_io = Some((writes, reads, site));
-            let serial = t.serial;
-            ctx.emit_span(serial as u64, SpanPoint::DiskRequest);
+            if ctx.tracing() {
+                t.marks.disk_req_ms = ctx.now().as_ms();
+            }
             self.disks[site].request(Event::DiskGranted(tid), ctx);
         }
     }
@@ -656,8 +691,9 @@ impl<'a> VoodbModel<'a> {
         if ms > 0.0 {
             let t = self.slab.get_mut(tid);
             t.pending_net = bytes;
-            let serial = t.serial;
-            ctx.emit_span(serial as u64, SpanPoint::NetRequest);
+            if ctx.tracing() {
+                t.marks.net_req_ms = ctx.now().as_ms();
+            }
             self.network.request(Event::NetGranted(tid), ctx);
         } else {
             ctx.schedule_now(Event::AccessDone(tid));
@@ -683,9 +719,16 @@ impl<'a> VoodbModel<'a> {
         tid: Tid,
         ctx: &mut Context<'_, Event, P, Q>,
     ) {
-        let (serial, user, submitted, tx_measured, holding_cpu) = {
+        let (serial, user, submitted, tx_measured, holding_cpu, mut marks) = {
             let t = self.slab.get(tid);
-            (t.serial, t.user, t.submitted, t.measured, t.holding_cpu)
+            (
+                t.serial,
+                t.user,
+                t.submitted,
+                t.measured,
+                t.holding_cpu,
+                t.marks,
+            )
         };
         if matches!(self.params.concurrency, ConcurrencyControl::TwoPhase { .. }) {
             for other in self.locks.release_all(serial) {
@@ -694,7 +737,11 @@ impl<'a> VoodbModel<'a> {
         }
         self.slab.release(tid);
         if holding_cpu {
-            ctx.emit_span(serial as u64, SpanPoint::CpuEnd);
+            if ctx.tracing() {
+                // Commit-time lock-release CPU: the hold ends here, at
+                // the Committed instant.
+                marks.cpu_ms += ctx.now().as_ms() - marks.cpu_start_ms;
+            }
             self.cpu.release(ctx);
         }
         self.scheduler.release(ctx);
@@ -711,7 +758,33 @@ impl<'a> VoodbModel<'a> {
                 .add(ctx.now().saturating_since(submitted).as_ms());
         }
         self.phase_end = ctx.now();
-        ctx.emit_span(serial as u64, SpanPoint::Committed);
+        if ctx.tracing() {
+            // The whole-lifetime stage totals, one valued delta each,
+            // emitted before Committed closes the span. Zero-valued
+            // stages are skipped: folding `+0.0` into a non-negative
+            // accumulator is a bitwise no-op.
+            for (stage, total) in [
+                (SpanStage::LockWait, marks.lock_wait_ms),
+                (SpanStage::Cpu, marks.cpu_ms),
+                (SpanStage::DiskWait, marks.disk_wait_ms),
+                (SpanStage::DiskService, marks.disk_service_ms),
+                (SpanStage::NetWait, marks.net_wait_ms),
+                (SpanStage::NetService, marks.net_service_ms),
+            ] {
+                if total != 0.0 {
+                    ctx.emit_span_stage(tid as u32, serial as u64, stage, total);
+                }
+            }
+            if marks.accesses > 0 {
+                ctx.emit_span_stage(
+                    tid as u32,
+                    serial as u64,
+                    SpanStage::Accesses,
+                    marks.accesses as f64,
+                );
+            }
+        }
+        ctx.emit_span(tid as u32, serial as u64, SpanPoint::Committed);
         if ctx.tracing() {
             // Utilisation/occupancy snapshots at every commit: cheap,
             // commit-frequency sampling of the passive resources.
@@ -722,13 +795,14 @@ impl<'a> VoodbModel<'a> {
             } else {
                 hits as f64 / (hits + misses) as f64
             };
-            ctx.emit_sample("hit_ratio", hit_ratio);
-            ctx.emit_sample("active_transactions", self.slab.live() as f64);
-            ctx.emit_sample("mpl_queue", self.scheduler.queue_len() as f64);
+            let ids = self.series_ids;
+            ctx.emit_sample(ids.hit_ratio, hit_ratio);
+            ctx.emit_sample(ids.active_transactions, self.slab.live() as f64);
+            ctx.emit_sample(ids.mpl_queue, self.scheduler.queue_len() as f64);
             let disk_util = self.disks.iter().map(|d| d.utilization(now)).sum::<f64>()
                 / self.disks.len() as f64;
-            ctx.emit_sample("disk_utilization", disk_util);
-            ctx.emit_sample("network_utilization", self.network.utilization(now));
+            ctx.emit_sample(ids.disk_utilization, disk_util);
+            ctx.emit_sample(ids.network_utilization, self.network.utilization(now));
         }
         // Clustering Manager: automatic triggering (Fig. 4).
         if self.cman.should_trigger() {
@@ -746,6 +820,23 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
     type Event = Event;
 
     fn init(&mut self, ctx: &mut Context<'_, Event, P, Q>) {
+        if ctx.tracing() {
+            // Resolve every probe handle once per phase: the engine gets
+            // a fresh probe per phase, so stale ids must not leak across.
+            self.scheduler.rebind_probe(ctx);
+            self.cpu.rebind_probe(ctx);
+            for disk in &mut self.disks {
+                disk.rebind_probe(ctx);
+            }
+            self.network.rebind_probe(ctx);
+            self.series_ids = SeriesIds {
+                hit_ratio: ctx.intern_series("hit_ratio"),
+                active_transactions: ctx.intern_series("active_transactions"),
+                mpl_queue: ctx.intern_series("mpl_queue"),
+                disk_utilization: ctx.intern_series("disk_utilization"),
+                network_utilization: ctx.intern_series("network_utilization"),
+            };
+        }
         match self.arrival {
             Arrival::Closed => {
                 for user in 0..self.params.users {
@@ -795,7 +886,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                     self.hits_mark = self.total_hits_misses();
                     self.measure_start = ctx.now();
                 }
-                ctx.emit_span(serial as u64, SpanPoint::Admitted);
+                ctx.emit_span(tid as u32, serial as u64, SpanPoint::Admitted);
                 ctx.schedule_now(Event::StartAccess(tid));
             }
             Event::StartAccess(tid) => {
@@ -807,7 +898,9 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                     self.begin_commit(tid, ctx);
                     return;
                 }
-                ctx.emit_span(serial as u64, SpanPoint::LockRequest);
+                if ctx.tracing() {
+                    self.slab.get_mut(tid).marks.lock_req_ms = ctx.now().as_ms();
+                }
                 match self.params.concurrency {
                     ConcurrencyControl::TimedOnly => self.after_lock_granted(tid, ctx),
                     ConcurrencyControl::TwoPhase {
@@ -855,21 +948,28 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
             Event::LockCpu(tid) => {
                 let t = self.slab.get_mut(tid);
                 t.holding_cpu = true;
-                let serial = t.serial;
-                ctx.emit_span(serial as u64, SpanPoint::CpuStart);
+                if ctx.tracing() {
+                    t.marks.cpu_start_ms = ctx.now().as_ms();
+                }
                 ctx.schedule(self.params.get_lock_ms, Event::LockHeld(tid));
             }
             Event::LockHeld(tid) => {
                 let t = self.slab.get_mut(tid);
                 t.holding_cpu = false;
-                let serial = t.serial;
-                ctx.emit_span(serial as u64, SpanPoint::CpuEnd);
+                if ctx.tracing() {
+                    let held = ctx.now().as_ms() - t.marks.cpu_start_ms;
+                    t.marks.cpu_ms += held;
+                }
                 self.cpu.release(ctx);
                 self.access_storage(tid, ctx);
             }
             Event::DiskGranted(tid) => {
-                let serial = self.slab.get(tid).serial;
-                ctx.emit_span(serial as u64, SpanPoint::DiskStart);
+                if ctx.tracing() {
+                    let now_ms = ctx.now().as_ms();
+                    let t = self.slab.get_mut(tid);
+                    t.marks.disk_wait_ms += now_ms - t.marks.disk_req_ms;
+                    t.marks.disk_start_ms = now_ms;
+                }
                 let (writes, reads, site) = self
                     .slab
                     .get_mut(tid)
@@ -882,8 +982,11 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 ctx.schedule(duration, Event::DiskDone(tid));
             }
             Event::DiskDone(tid) => {
-                let serial = self.slab.get(tid).serial;
-                ctx.emit_span(serial as u64, SpanPoint::DiskEnd);
+                if ctx.tracing() {
+                    let now_ms = ctx.now().as_ms();
+                    let t = self.slab.get_mut(tid);
+                    t.marks.disk_service_ms += now_ms - t.marks.disk_start_ms;
+                }
                 let site = self
                     .slab
                     .get_mut(tid)
@@ -899,26 +1002,37 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 self.leave_storage(tid, page, ctx);
             }
             Event::NetGranted(tid) => {
-                let t = self.slab.get(tid);
-                let (serial, bytes) = (t.serial, t.pending_net);
-                ctx.emit_span(serial as u64, SpanPoint::NetStart);
+                let t = self.slab.get_mut(tid);
+                let bytes = t.pending_net;
+                if ctx.tracing() {
+                    let now_ms = ctx.now().as_ms();
+                    t.marks.net_wait_ms += now_ms - t.marks.net_req_ms;
+                    t.marks.net_start_ms = now_ms;
+                }
                 let ms = self.params.transfer_ms(bytes);
                 ctx.schedule(ms, Event::NetDone(tid));
             }
             Event::NetDone(tid) => {
-                let serial = self.slab.get(tid).serial;
-                ctx.emit_span(serial as u64, SpanPoint::NetEnd);
+                if ctx.tracing() {
+                    let now_ms = ctx.now().as_ms();
+                    let t = self.slab.get_mut(tid);
+                    t.marks.net_service_ms += now_ms - t.marks.net_start_ms;
+                }
                 self.network.release(ctx);
                 ctx.schedule_now(Event::AccessDone(tid));
             }
             Event::AccessDone(tid) => {
-                let (serial, parent, oid) = {
+                let (parent, oid) = {
                     let t = self.slab.get_mut(tid);
                     let access = *t.current();
                     t.pos += 1;
-                    (t.serial, access.parent, access.oid)
+                    if ctx.tracing() {
+                        // Counted, not emitted: the total goes out as one
+                        // Accesses stage right before Committed.
+                        t.marks.accesses += 1;
+                    }
+                    (access.parent, access.oid)
                 };
-                ctx.emit_span(serial as u64, SpanPoint::AccessDone);
                 self.cman.observe(parent, oid);
                 ctx.schedule_now(Event::StartAccess(tid));
             }
@@ -926,8 +1040,9 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 let t = self.slab.get_mut(tid);
                 let locked = t.locked.len();
                 t.holding_cpu = true;
-                let serial = t.serial;
-                ctx.emit_span(serial as u64, SpanPoint::CpuStart);
+                if ctx.tracing() {
+                    t.marks.cpu_start_ms = ctx.now().as_ms();
+                }
                 ctx.schedule(
                     self.params.release_lock_ms * locked as f64,
                     Event::Committed(tid),

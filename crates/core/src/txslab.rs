@@ -31,6 +31,53 @@ use ocb::{Oid, Transaction};
 /// Slot index of a live transaction (recycled across transactions).
 pub type Tid = usize;
 
+/// Model-side trace accumulation: saved instants (as [`SimTime::as_ms`]
+/// values) and per-stage running totals the model keeps so it can emit
+/// each lifecycle stage as a *single* valued delta (`desp::SpanStage`)
+/// at commit, instead of a raw point stream along the way — a handful
+/// of probe calls per transaction where the point encoding needed two
+/// or three per access. Written only on traced runs
+/// (`Context::tracing()` guards every store), so untraced runs never
+/// touch these fields.
+///
+/// Bit-identity with the point encoding holds because every increment
+/// is `now − mark` with exactly the instants a point-pairing probe
+/// would have folded, accumulated in the same (chronological) order —
+/// and a `+0.0`-seeded left-to-right float sum is the same whether the
+/// probe or the model performs it.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct TraceMarks {
+    /// Instant of the current lock request (overwritten per access; a
+    /// restart abandons it implicitly — the retry writes a fresh mark).
+    pub lock_req_ms: f64,
+    /// Instant the CPU was granted (valid while `holding_cpu`).
+    pub cpu_start_ms: f64,
+    /// Instant the current disk batch was requested.
+    pub disk_req_ms: f64,
+    /// Instant the disk grant arrived (service start).
+    pub disk_start_ms: f64,
+    /// Instant the current network transfer was requested.
+    pub net_req_ms: f64,
+    /// Instant the network grant arrived (transfer start).
+    pub net_start_ms: f64,
+    /// Total time parked waiting for locks (granted requests only).
+    pub lock_wait_ms: f64,
+    /// Total CPU holding time.
+    pub cpu_ms: f64,
+    /// Total wait for the disk resource.
+    pub disk_wait_ms: f64,
+    /// Total disk service time.
+    pub disk_service_ms: f64,
+    /// Total wait for the network resource.
+    pub net_wait_ms: f64,
+    /// Total network transfer time.
+    pub net_service_ms: f64,
+    /// Completed object accesses. The totals *include* work redone
+    /// after a restart (restarts re-execute from the top and recount —
+    /// matching the per-access point stream this replaces).
+    pub accesses: u64,
+}
+
 /// Per-transaction execution state, held in a recycled slab slot.
 pub(crate) struct ActiveTx {
     /// Slot occupancy (false ⇒ every other field is stale).
@@ -61,6 +108,8 @@ pub(crate) struct ActiveTx {
     pub pending_net: u64,
     /// Holds the CPU resource (released on commit if still held).
     pub holding_cpu: bool,
+    /// Trace-stage marks (written only on traced runs).
+    pub marks: TraceMarks,
 }
 
 impl ActiveTx {
@@ -77,6 +126,7 @@ impl ActiveTx {
             pending_io: None,
             pending_net: 0,
             holding_cpu: false,
+            marks: TraceMarks::default(),
         }
     }
 
@@ -193,6 +243,7 @@ impl TxSlab {
         slot.pending_io = None;
         slot.pending_net = 0;
         slot.holding_cpu = false;
+        slot.marks = TraceMarks::default();
         self.live += 1;
         self.high_water = self.high_water.max(self.live);
     }

@@ -4,7 +4,7 @@
 use desp::CountingProbe;
 use ocb::{DatabaseParams, ObjectBase, WorkloadGenerator, WorkloadParams};
 use voodb::{Simulation, SystemClass, VoodbParams};
-use vtrace::TraceRecorder;
+use vtrace::RecorderConfig;
 
 fn setup(users: usize) -> (ObjectBase, Vec<ocb::Transaction>, VoodbParams) {
     let base = ObjectBase::generate(&DatabaseParams::small(), 17);
@@ -32,7 +32,9 @@ fn traced_phase_matches_untraced_phase_exactly() {
     let untraced = plain.run_phase(transactions.clone(), 0);
 
     let mut probed = Simulation::new(&base, params, 1.0, 7);
-    let (traced, recorder) = probed.run_phase_probed(transactions, 0, TraceRecorder::new());
+    let (traced, mut recorder) =
+        probed.run_phase_probed(transactions, 0, RecorderConfig::new().build());
+    recorder.flush();
 
     assert_eq!(untraced.transactions, traced.transactions);
     assert_eq!(untraced.total_ios(), traced.total_ios());
@@ -51,7 +53,9 @@ fn traced_phase_matches_untraced_phase_exactly() {
 fn spans_decompose_response_and_feed_histograms() {
     let (base, transactions, params) = setup(4);
     let mut simulation = Simulation::new(&base, params, 1.0, 7);
-    let (result, recorder) = simulation.run_phase_probed(transactions, 0, TraceRecorder::new());
+    let (result, mut recorder) =
+        simulation.run_phase_probed(transactions, 0, RecorderConfig::new().build());
+    recorder.flush();
 
     // Stage sums never exceed the span's end-to-end response, and disk
     // service shows up for a cold buffer.
@@ -99,11 +103,11 @@ fn spans_decompose_response_and_feed_histograms() {
         "mpl_queue",
     ] {
         assert!(
-            recorder.series().contains_key(series),
+            recorder.series_named(series).is_some(),
             "missing series '{series}'"
         );
     }
-    let hit = &recorder.series()["hit_ratio"];
+    let hit = recorder.series_named("hit_ratio").unwrap();
     assert_eq!(hit.offered(), 40, "one sample per commit");
 }
 

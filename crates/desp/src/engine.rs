@@ -24,7 +24,7 @@
 // by the `hot-panic` rule of `voodb audit`.
 #![deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use crate::probe::{NoProbe, Probe, SpanPoint};
+use crate::probe::{NoProbe, Probe, SeriesId, SpanPoint, SpanStage};
 use crate::sched::{CalendarKind, QueueKind, Scheduler};
 use crate::time::SimTime;
 
@@ -128,15 +128,45 @@ impl<'a, E, P: Probe, Q: QueueKind> Context<'a, E, P, Q> {
     }
 
     /// Emits a transaction lifecycle span point at the current instant.
+    /// `slot` is the transaction's dense slab slot; `serial` its stable
+    /// identity (see [`Probe::on_span`]).
     #[inline]
-    pub fn emit_span(&mut self, tid: u64, point: SpanPoint) {
-        self.probe.on_span(tid, point, self.now.as_ms());
+    pub fn emit_span(&mut self, slot: u32, serial: u64, point: SpanPoint) {
+        self.probe.on_span(slot, serial, point, self.now.as_ms());
     }
 
-    /// Emits one time-series sample at the current instant.
+    /// Emits one accumulated lifecycle-stage value for the transaction
+    /// in `slot` — milliseconds for duration stages, a count for
+    /// [`SpanStage::Accesses`]. One valued call replaces a
+    /// `Request`/`Start`/`End` point group on the per-access hot path
+    /// (see [`Probe::on_span_stage`]).
     #[inline]
-    pub fn emit_sample(&mut self, series: &str, value: f64) {
+    pub fn emit_span_stage(&mut self, slot: u32, serial: u64, stage: SpanStage, delta: f64) {
+        self.probe.on_span_stage(slot, serial, stage, delta);
+    }
+
+    /// Emits one time-series sample at the current instant. The handle
+    /// comes from [`Context::intern_series`], resolved once per phase.
+    #[inline]
+    pub fn emit_sample(&mut self, series: SeriesId, value: f64) {
         self.probe.on_sample(series, self.now.as_ms(), value);
+    }
+
+    /// Resolves a series name to a probe handle (delegates to
+    /// [`Probe::intern_series`]; not for the per-event hot path).
+    #[inline]
+    pub fn intern_series(&mut self, name: &str) -> SeriesId {
+        self.probe.intern_series(name)
+    }
+
+    /// Convenience: interns `name` and emits one sample. Costs a name
+    /// lookup per call — fine for tests and coarse-grained models, not
+    /// for per-commit sampling (intern once and use
+    /// [`Context::emit_sample`] there).
+    #[inline]
+    pub fn emit_sample_named(&mut self, name: &str, value: f64) {
+        let id = self.probe.intern_series(name);
+        self.probe.on_sample(id, self.now.as_ms(), value);
     }
 
     /// Direct access to the probe (used by [`crate::resource::Resource`]
@@ -185,6 +215,12 @@ pub struct Engine<M: Model<P, Q>, P: Probe = NoProbe, Q: QueueKind = CalendarKin
     clock: SimTime,
     stop: bool,
     dispatched: u64,
+    /// Dispatches left until the next `on_dispatch` call; reloaded from
+    /// [`Probe::dispatch_interval`] after each sampled dispatch. Engine
+    /// state (not probe state) so the tight dispatch loop keeps it in a
+    /// register; persists across run calls so multi-phase drivers
+    /// sample at a stable cadence.
+    dispatch_countdown: u64,
     initialised: bool,
 }
 
@@ -209,6 +245,7 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
     /// scheduler kind, e.g.
     /// `Engine::<_, _, HeapKind>::with_probe_on(model, NoProbe)`.
     pub fn with_probe_on(model: M, probe: P) -> Self {
+        let dispatch_countdown = probe.dispatch_interval().max(1);
         Engine {
             model,
             probe,
@@ -216,6 +253,7 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
             clock: SimTime::ZERO,
             stop: false,
             dispatched: 0,
+            dispatch_countdown,
             initialised: false,
         }
     }
@@ -278,7 +316,13 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
         debug_assert!(time >= self.clock, "event list yielded a past event");
         self.clock = time;
         self.dispatched += 1;
-        self.probe.on_dispatch(time.as_ms(), self.events.len());
+        if P::ENABLED {
+            self.dispatch_countdown -= 1;
+            if self.dispatch_countdown == 0 {
+                self.dispatch_countdown = self.probe.dispatch_interval().max(1);
+                self.probe.on_dispatch(time.as_ms(), self.events.len());
+            }
+        }
         let mut ctx = Context {
             now: self.clock,
             events: &mut self.events,
@@ -289,13 +333,28 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
         true
     }
 
+    /// Reports engine-lifetime event totals to the probe at the end of
+    /// a run call. `scheduled` is derived, not counted: the event list
+    /// only ever pushes and pops, so every push was either dispatched
+    /// or is still pending. Deriving it here keeps the per-event
+    /// schedule/dispatch hooks free of counter bookkeeping.
+    #[inline]
+    fn finish_run(&mut self) {
+        if P::ENABLED {
+            self.probe
+                .on_run_end(self.dispatched + self.events.len() as u64, self.dispatched);
+        }
+    }
+
     /// Dispatches a single event. Returns `false` when nothing remains.
     pub fn step(&mut self) -> bool {
         self.ensure_init();
         if self.stop {
             return false;
         }
-        self.dispatch_next()
+        let dispatched = self.dispatch_next();
+        self.finish_run();
+        dispatched
     }
 
     /// Runs until the event list drains or the model stops the run.
@@ -307,6 +366,7 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
         // exits (the model can only see them through `Context::now`).
         let mut clock = self.clock;
         let mut dispatched = self.dispatched;
+        let mut countdown = self.dispatch_countdown;
         while !self.stop {
             let Some((time, event)) = self.events.pop() else {
                 break;
@@ -314,7 +374,13 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
             debug_assert!(time >= clock, "event list yielded a past event");
             clock = time;
             dispatched += 1;
-            self.probe.on_dispatch(time.as_ms(), self.events.len());
+            if P::ENABLED {
+                countdown -= 1;
+                if countdown == 0 {
+                    countdown = self.probe.dispatch_interval().max(1);
+                    self.probe.on_dispatch(time.as_ms(), self.events.len());
+                }
+            }
             let mut ctx = Context {
                 now: clock,
                 events: &mut self.events,
@@ -325,6 +391,8 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
         }
         self.clock = clock;
         self.dispatched = dispatched;
+        self.dispatch_countdown = countdown;
+        self.finish_run();
         RunOutcome {
             reason: if self.stop {
                 StopReason::Stopped
@@ -341,35 +409,27 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         self.ensure_init();
         let start = self.dispatched;
-        loop {
+        let reason = loop {
             if self.stop {
-                return RunOutcome {
-                    reason: StopReason::Stopped,
-                    end_time: self.clock,
-                    events_dispatched: self.dispatched - start,
-                };
+                break StopReason::Stopped;
             }
             // Peek: stop before dispatching an event past the horizon.
             match self.events.peek_time() {
-                None => {
-                    return RunOutcome {
-                        reason: StopReason::Exhausted,
-                        end_time: self.clock,
-                        events_dispatched: self.dispatched - start,
-                    }
-                }
+                None => break StopReason::Exhausted,
                 Some(time) if time > horizon => {
                     self.clock = horizon;
-                    return RunOutcome {
-                        reason: StopReason::Horizon,
-                        end_time: self.clock,
-                        events_dispatched: self.dispatched - start,
-                    };
+                    break StopReason::Horizon;
                 }
                 Some(_) => {
                     self.dispatch_next();
                 }
             }
+        };
+        self.finish_run();
+        RunOutcome {
+            reason,
+            end_time: self.clock,
+            events_dispatched: self.dispatched - start,
         }
     }
 
@@ -377,21 +437,20 @@ impl<M: Model<P, Q>, P: Probe, Q: QueueKind> Engine<M, P, Q> {
     pub fn run_steps(&mut self, budget: u64) -> RunOutcome {
         self.ensure_init();
         let start = self.dispatched;
+        let mut reason = StopReason::Budget;
         for _ in 0..budget {
-            if !self.step() {
-                return RunOutcome {
-                    reason: if self.stop {
-                        StopReason::Stopped
-                    } else {
-                        StopReason::Exhausted
-                    },
-                    end_time: self.clock,
-                    events_dispatched: self.dispatched - start,
-                };
+            if self.stop {
+                reason = StopReason::Stopped;
+                break;
+            }
+            if !self.dispatch_next() {
+                reason = StopReason::Exhausted;
+                break;
             }
         }
+        self.finish_run();
         RunOutcome {
-            reason: StopReason::Budget,
+            reason,
             end_time: self.clock,
             events_dispatched: self.dispatched - start,
         }
@@ -562,8 +621,8 @@ mod tests {
             }
             fn handle(&mut self, _: (), ctx: &mut Context<'_, (), P>) {
                 if ctx.tracing() {
-                    ctx.emit_span(7, SpanPoint::AccessDone);
-                    ctx.emit_sample("depth", self.remaining as f64);
+                    ctx.emit_span(7, 7, SpanPoint::AccessDone);
+                    ctx.emit_sample_named("depth", self.remaining as f64);
                 }
                 if self.remaining > 0 {
                     self.remaining -= 1;

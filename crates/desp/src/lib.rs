@@ -70,7 +70,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Context, Engine, Model, RunOutcome, StopReason};
-pub use probe::{CountingProbe, NoProbe, Probe, SpanPoint};
+pub use probe::{CountingProbe, NoProbe, Probe, ResourceId, SeriesId, SpanPoint, SpanStage};
 pub use random::{RandomStream, StreamFamily, Xoshiro256, Zipf};
 pub use replication::{MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
 pub use resource::{Discipline, Resource};

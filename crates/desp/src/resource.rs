@@ -14,7 +14,7 @@
 //! automatically, mirroring QNAP2's standard station reports.
 
 use crate::engine::Context;
-use crate::probe::Probe;
+use crate::probe::{Probe, ResourceId};
 use crate::sched::QueueKind;
 use crate::stats::{TimeWeighted, Welford};
 use crate::time::SimTime;
@@ -54,6 +54,10 @@ pub struct Resource<E> {
     /// Time-weighted busy units (divide by capacity for utilisation).
     busy_units: TimeWeighted,
     grants: u64,
+    /// Probe handle for this resource's name, interned lazily (or
+    /// eagerly via [`Resource::rebind_probe`]) so hot-path hooks never
+    /// pass a string.
+    probe_id: ResourceId,
 }
 
 impl<E> Resource<E> {
@@ -74,6 +78,16 @@ impl<E> Resource<E> {
             queue_len: TimeWeighted::new(),
             busy_units: TimeWeighted::new(),
             grants: 0,
+            probe_id: ResourceId::INVALID,
+        }
+    }
+
+    /// Re-interns this resource's name with the context's probe. Models
+    /// call this at phase start (probes are swapped per phase) so the
+    /// request/release hot path carries a pre-resolved handle.
+    pub fn rebind_probe<P: Probe, Q: QueueKind>(&mut self, ctx: &mut Context<'_, E, P, Q>) {
+        if P::ENABLED {
+            self.probe_id = ctx.probe_mut().intern_resource(&self.name);
         }
     }
 
@@ -155,8 +169,11 @@ impl<E> Resource<E> {
             self.wait.add(0.0);
             self.record_state(now);
             if P::ENABLED {
+                if self.probe_id == ResourceId::INVALID {
+                    self.probe_id = ctx.probe_mut().intern_resource(&self.name);
+                }
                 ctx.probe_mut()
-                    .on_resource_grant(&self.name, now.as_ms(), 0.0);
+                    .on_resource_grant(self.probe_id, now.as_ms(), 0.0);
             }
             ctx.schedule_now(continuation);
         } else {
@@ -170,8 +187,11 @@ impl<E> Resource<E> {
             });
             self.record_state(now);
             if P::ENABLED {
+                if self.probe_id == ResourceId::INVALID {
+                    self.probe_id = ctx.probe_mut().intern_resource(&self.name);
+                }
                 ctx.probe_mut()
-                    .on_resource_enqueue(&self.name, now.as_ms(), self.queue.len());
+                    .on_resource_enqueue(self.probe_id, now.as_ms(), self.queue.len());
             }
         }
     }
@@ -230,8 +250,11 @@ impl<E> Resource<E> {
                 let waited = now.saturating_since(waiter.enqueued_at).as_ms();
                 self.wait.add(waited);
                 if P::ENABLED {
+                    if self.probe_id == ResourceId::INVALID {
+                        self.probe_id = ctx.probe_mut().intern_resource(&self.name);
+                    }
                     ctx.probe_mut()
-                        .on_resource_grant(&self.name, now.as_ms(), waited);
+                        .on_resource_grant(self.probe_id, now.as_ms(), waited);
                 }
                 ctx.schedule_now(waiter.event);
             }

@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
-//!           [--trace] [--scheduler calendar|heap]
+//!           [--trace] [--trace-shards N] [--trace-sample N]
+//!           [--watch] [--watch-jsonl PATH] [--watch-interval MS]
+//!           [--scheduler calendar|heap]
 //!           [--duration MS] [--warmup MS] [--arrival SPEC] [--materialized]
 //! voodb analyze <run-dir>
 //! voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
 //! voodb bench-summary <BENCH_engine.json> --out <dir>
+//!           [--assert-max NAME=VALUE]
+//! voodb watch-check <watch.jsonl>
 //! voodb validate <file.toml>...
 //! voodb list [--dir scenarios]
 //! voodb params
@@ -20,33 +24,46 @@
 //! `<out>/<scenario>.csv` + `<out>/<scenario>.json`
 //! (default `target/voodb-out/`); with `--trace` it also records every
 //! job and writes `<out>/<scenario>.trace/` (span JSONL, series CSV,
-//! `summary.json`). `analyze` prints the percentile table of a trace
-//! directory; `compare` diffs two trace directories and exits non-zero
-//! iff a metric regresses beyond the threshold. `validate` parses and
-//! validates each file, reporting precise line/column positions for
-//! syntax errors. `params` lists every supported parameter key (all of
-//! them sweepable), sorted. `audit` statically checks the workspace
-//! sources against the determinism rules (see the `voodb-audit` crate
-//! and README "Static guarantees & determinism invariants").
+//! `summary.json`). `--watch` / `--watch-jsonl` stream decimated live
+//! telemetry (throughput, p99, MPL queue, hit ratio) out of the running
+//! jobs — to the terminal or a JSONL file — and imply `--trace`.
+//! `analyze` prints the percentile table of a trace directory;
+//! `compare` diffs two trace directories and exits non-zero iff a
+//! metric regresses beyond the threshold. `watch-check` validates a
+//! `--watch-jsonl` stream (CI smokes the watch path with it).
+//! `validate` parses and validates each file, reporting precise
+//! line/column positions for syntax errors. `params` lists every
+//! supported parameter key (all of them sweepable), sorted. `audit`
+//! statically checks the workspace sources against the determinism
+//! rules (see the `voodb-audit` crate and README "Static guarantees &
+//! determinism invariants").
 
 use scenario::{
-    library_listing, params_help_text, run_sweep, run_sweep_traced, write_sweep_reports,
+    library_listing, params_help_text, run_sweep, run_sweep_traced_with, write_sweep_reports,
     write_trace_reports, RunOptions, Scenario, SchedulerKind, DEFAULT_OUT_DIR,
 };
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vtrace::{RunSummary, TraceAnalysis};
+use vtrace::{
+    direction_of, Direction, Json, RecorderConfig, RunSummary, TraceAnalysis, WatchSample,
+    WatchSink,
+};
 
 const USAGE: &str = "\
 voodb — declarative VOODB experiments
 
 USAGE:
     voodb run <file.toml> [--threads N] [--reps N] [--seed S] [--out DIR]
-              [--trace] [--scheduler calendar|heap]
+              [--trace] [--trace-shards N] [--trace-sample N]
+              [--watch] [--watch-jsonl PATH] [--watch-interval MS]
+              [--scheduler calendar|heap]
               [--duration MS] [--warmup MS] [--arrival SPEC] [--materialized]
     voodb analyze <run-dir>
     voodb compare <run-dir-a> <run-dir-b> [--threshold 0.10]
     voodb bench-summary <BENCH_engine.json> --out <dir>
+              [--assert-max NAME=VALUE]
+    voodb watch-check <watch.jsonl>
     voodb validate <file.toml>...
     voodb list [--dir scenarios]
     voodb params
@@ -66,6 +83,13 @@ COMMANDS:
                Convert an engine_bench JSON file into a trace-summary
                directory, so two bench runs can be diffed with
                `voodb compare` (the CI perf gate does exactly this).
+               `--assert-max` additionally enforces hard ceilings on
+               named measurements and exits 2 on a breach.
+    watch-check
+               Validate a `--watch-jsonl` stream: every line must be a
+               well-formed watch sample with numeric fields and
+               per-job monotone simulated time. Exits non-zero on a
+               malformed or empty stream.
     validate   Parse and validate scenario files (syntax errors carry
                line and column). Exits non-zero on the first failure.
     list       List the scenario library with name, description, axes
@@ -86,6 +110,24 @@ OPTIONS (run):
     --out DIR     Report directory (default: target/voodb-out).
     --trace       Record every job: transaction spans (JSONL), time
                   series (CSV) and summary.json under <out>/<name>.trace/.
+    --trace-shards N
+                  Span shards per recorder (rounded up to a power of
+                  two; default 1). Exported results are identical at
+                  any shard count. Requires --trace.
+    --trace-sample N
+                  Bounded-loss span sampling: retain at most N raw span
+                  records per job (uniform reservoir). Histograms and
+                  percentiles still see every span; the loss is
+                  reported, never silent. Requires --trace.
+    --watch       Stream live telemetry lines (throughput, p99, MPL
+                  queue, hit ratio) to the terminal while the run
+                  executes. Implies --trace.
+    --watch-jsonl PATH
+                  Also (or instead) append each watch sample as a JSON
+                  line to PATH. Implies --trace.
+    --watch-interval MS
+                  Minimum simulated ms between watch samples
+                  (default 100).
     --scheduler K Event-list implementation: calendar (default) or heap.
                   Results are bit-identical either way; heap is the
                   differential-testing oracle.
@@ -109,6 +151,10 @@ OPTIONS (bench-summary):
     --metrics L   Comma-separated keep-list of measurement names; the CI
                   perf gate uses this to compare only the mode-robust
                   throughput metrics.
+    --assert-max NAME=VALUE
+                  Fail (exit 2) if measurement NAME exceeds VALUE; may
+                  be repeated. The CI perf gate caps
+                  trace_recorder_overhead_pct with this.
 
 OPTIONS (audit):
     --root DIR    Workspace root to scan (default: current directory).
@@ -124,6 +170,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("bench-summary") => cmd_bench_summary(&args[1..]),
+        Some("watch-check") => cmd_watch_check(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
         Some("params") => {
@@ -211,8 +258,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "duration",
             "warmup",
             "arrival",
+            "trace-shards",
+            "trace-sample",
+            "watch-jsonl",
+            "watch-interval",
         ],
-        &["trace", "materialized"],
+        &["trace", "materialized", "watch"],
     ) {
         Ok(split) => split,
         Err(e) => return fail(&e),
@@ -220,12 +271,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let [file] = files[..] else {
         return fail("'run' takes exactly one scenario file");
     };
-    let trace = flags.contains(&"trace");
     let mut run_options = RunOptions {
         materialized: flags.contains(&"materialized"),
         ..RunOptions::default()
     };
     let mut out_dir = PathBuf::from(DEFAULT_OUT_DIR);
+    let mut trace_shards = 1usize;
+    let mut trace_sample: Option<usize> = None;
+    let mut watch_jsonl: Option<PathBuf> = None;
+    let mut watch_interval = 100.0f64;
     for (name, raw) in options {
         let result = match name {
             "threads" => parse_opt(name, raw).map(|v| run_options.threads = Some(v)),
@@ -241,11 +295,32 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 out_dir = PathBuf::from(raw);
                 Ok(())
             }
+            "trace-shards" => parse_opt(name, raw).map(|v| trace_shards = v),
+            "trace-sample" => parse_opt(name, raw).map(|v| trace_sample = Some(v)),
+            "watch-jsonl" => {
+                watch_jsonl = Some(PathBuf::from(raw));
+                Ok(())
+            }
+            "watch-interval" => match parse_opt::<f64>(name, raw) {
+                Ok(v) if v > 0.0 => {
+                    watch_interval = v;
+                    Ok(())
+                }
+                Ok(_) => Err("--watch-interval must be positive".to_owned()),
+                Err(e) => Err(e),
+            },
             _ => unreachable!("validated by split_args"),
         };
         if let Err(e) = result {
             return fail(&e);
         }
+    }
+    let watch_terminal = flags.contains(&"watch");
+    let watching = watch_terminal || watch_jsonl.is_some();
+    // Watching needs the recorder, so it implies --trace.
+    let trace = flags.contains(&"trace") || watching;
+    if !trace && (trace_shards != 1 || trace_sample.is_some()) {
+        return fail("--trace-shards / --trace-sample require --trace");
     }
     let scenario = match load(file) {
         Ok(s) => s,
@@ -261,7 +336,48 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if trace { " (traced)" } else { "" },
     );
     let (result, traces) = if trace {
-        match run_sweep_traced(&scenario, &run_options) {
+        let mut config = RecorderConfig::new().shards(trace_shards);
+        if let Some(cap) = trace_sample {
+            config = config.sample(cap);
+        }
+        let mut drainer = None;
+        if watching {
+            // Create the JSONL sink up front so a bad path fails before
+            // the run, not after it.
+            let sink_file = match &watch_jsonl {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => Some(f),
+                    Err(e) => return fail(&format!("{}: {e}", path.display())),
+                },
+                None => None,
+            };
+            let (tx, rx) = std::sync::mpsc::channel();
+            config = config.watch(WatchSink {
+                sender: tx,
+                interval_ms: watch_interval,
+            });
+            drainer = Some(std::thread::spawn(move || {
+                drain_watch(rx, sink_file, watch_terminal)
+            }));
+        }
+        let run = run_sweep_traced_with(&scenario, &run_options, &config);
+        // Every recorder has flushed (dropping its sender); dropping the
+        // config's own clone lets the drainer's receive loop terminate.
+        drop(config);
+        if let Some(handle) = drainer {
+            match handle.join() {
+                Ok(Ok(samples)) => {
+                    if let Some(path) = &watch_jsonl {
+                        println!("watch: {samples} samples -> {}", path.display());
+                    } else {
+                        println!("watch: {samples} samples");
+                    }
+                }
+                Ok(Err(e)) => return fail(&e),
+                Err(_) => return fail("watch drainer panicked"),
+            }
+        }
+        match run {
             Ok((result, traces)) => (result, Some(traces)),
             Err(e) => return fail(&e),
         }
@@ -282,9 +398,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(traces) = traces {
         match write_trace_reports(&result, &traces, &out_dir) {
             Ok(dir) => {
-                let spans: usize = traces.iter().map(|t| t.recorder.spans().len()).sum();
+                let offered: u64 = traces.iter().map(|t| t.recorder.spans_offered()).sum();
+                let recorded: u64 = traces.iter().map(|t| t.recorder.spans_recorded()).sum();
+                let loss = if recorded < offered {
+                    format!(", {recorded} retained after sampling")
+                } else {
+                    String::new()
+                };
                 println!(
-                    "wrote {} ({} trace jobs, {spans} spans) — inspect with `voodb analyze {}`",
+                    "wrote {} ({} trace jobs, {offered} spans{loss}) — inspect with `voodb analyze {}`",
                     dir.display(),
                     traces.len(),
                     dir.display()
@@ -293,6 +415,115 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Err(e) => return fail(&e),
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Drains watch samples to the terminal and/or a JSONL file until every
+/// sender (per-job recorders plus the run's config) has been dropped.
+/// Returns the number of samples seen.
+fn drain_watch(
+    rx: std::sync::mpsc::Receiver<WatchSample>,
+    mut jsonl: Option<std::fs::File>,
+    terminal: bool,
+) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for sample in rx {
+        samples += 1;
+        if terminal {
+            println!(
+                "watch job={} t={:.1}ms tps={:.1} p99={:.2}ms mpl_queue={:.0} hit={:.3}",
+                sample.job,
+                sample.t_ms,
+                sample.throughput_tps,
+                sample.p99_ms,
+                sample.mpl_queue,
+                sample.hit_ratio
+            );
+        }
+        if let Some(file) = &mut jsonl {
+            writeln!(file, "{}", watch_sample_json(&sample).to_string_compact())
+                .map_err(|e| format!("watch jsonl: {e}"))?;
+        }
+    }
+    Ok(samples)
+}
+
+/// The `--watch-jsonl` line shape; `watch-check` validates exactly
+/// these fields.
+fn watch_sample_json(sample: &WatchSample) -> Json {
+    Json::Obj(vec![
+        ("job".into(), Json::Num(sample.job as f64)),
+        ("t_ms".into(), Json::Num(sample.t_ms)),
+        ("throughput_tps".into(), Json::Num(sample.throughput_tps)),
+        ("p99_ms".into(), Json::Num(sample.p99_ms)),
+        ("mpl_queue".into(), Json::Num(sample.mpl_queue)),
+        ("hit_ratio".into(), Json::Num(sample.hit_ratio)),
+    ])
+}
+
+fn cmd_watch_check(args: &[String]) -> ExitCode {
+    let (files, _, _) = match split_args(args, &[], &[]) {
+        Ok(split) => split,
+        Err(e) => return fail(&e),
+    };
+    let [file] = files[..] else {
+        return fail("'watch-check' takes exactly one watch JSONL file");
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("{file}: {e}")),
+    };
+    // Per-job last simulated instant: watch streams must move forward.
+    let mut last_t: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let doc = match vtrace::json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => return fail(&format!("{file}:{lineno}: {e}")),
+        };
+        let field = |key: &str| -> Result<f64, String> {
+            match doc.get(key).and_then(Json::as_f64) {
+                Some(v) if v.is_finite() => Ok(v),
+                Some(v) => Err(format!("{file}:{lineno}: non-finite '{key}' ({v})")),
+                None => Err(format!("{file}:{lineno}: missing numeric field '{key}'")),
+            }
+        };
+        let parsed = field("job").and_then(|job| Ok((job, field("t_ms")?)));
+        let (job, t_ms) = match parsed {
+            Ok(pair) => pair,
+            Err(e) => return fail(&e),
+        };
+        for key in ["throughput_tps", "p99_ms", "mpl_queue", "hit_ratio"] {
+            if let Err(e) = field(key) {
+                return fail(&e);
+            }
+        }
+        let job = job as u64;
+        if let Some(&prev) = last_t.get(&job) {
+            if t_ms < prev {
+                return fail(&format!(
+                    "{file}:{lineno}: job {job} went backwards in simulated time ({prev} -> {t_ms})"
+                ));
+            }
+        }
+        last_t.insert(job, t_ms);
+        samples += 1;
+    }
+    if samples == 0 {
+        return fail(&format!(
+            "{file}: no watch samples (empty stream — interval too coarse for the run?)"
+        ));
+    }
+    println!(
+        "{file}: OK — {samples} sample{} across {} job{}",
+        if samples == 1 { "" } else { "s" },
+        last_t.len(),
+        if last_t.len() == 1 { "" } else { "s" },
+    );
     ExitCode::SUCCESS
 }
 
@@ -345,7 +576,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 }
 
 fn cmd_bench_summary(args: &[String]) -> ExitCode {
-    let (files, options, _) = match split_args(args, &["out", "metrics"], &[]) {
+    let (files, options, _) = match split_args(args, &["out", "metrics", "assert-max"], &[]) {
         Ok(split) => split,
         Err(e) => return fail(&e),
     };
@@ -367,6 +598,36 @@ fn cmd_bench_summary(args: &[String]) -> ExitCode {
         Ok(summary) => summary,
         Err(e) => return fail(&format!("{file}: {e}")),
     };
+    // Hard ceilings run against the unfiltered measurements, so a
+    // --metrics keep-list can't accidentally un-gate an assertion.
+    let mut breached = false;
+    for (_, spec) in options.iter().filter(|(name, _)| *name == "assert-max") {
+        let Some((name, raw_max)) = spec.split_once('=') else {
+            return fail(&format!("--assert-max: expected NAME=VALUE, got '{spec}'"));
+        };
+        let max: f64 = match parse_opt("assert-max", raw_max) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+        let Some(value) = summary.runs.iter().find_map(|r| r.metrics.get(name)) else {
+            return fail(&format!(
+                "--assert-max: no measurement named '{name}' in {file}"
+            ));
+        };
+        let marker = match direction_of(name) {
+            Direction::HigherWorse => "",
+            // A ceiling on a metric where higher is good (or neutral)
+            // is usually a misread gate — flag it in the output.
+            Direction::LowerWorse => " [note: lower is worse for this metric]",
+            Direction::Neutral => " [note: direction-neutral metric]",
+        };
+        if *value > max {
+            eprintln!("assert-max: {name} = {value} exceeds ceiling {max}{marker}");
+            breached = true;
+        } else {
+            println!("assert-max: {name} = {value} within ceiling {max}{marker}");
+        }
+    }
     if let Some(keep) = keep {
         // A listed name that matches nothing is a gate misconfiguration
         // (typo, renamed measurement) — fail loudly rather than silently
@@ -389,7 +650,13 @@ fn cmd_bench_summary(args: &[String]) -> ExitCode {
                 path.display(),
                 summary.runs[0].metrics.len()
             );
-            ExitCode::SUCCESS
+            if breached {
+                // Distinct from the generic-error exit code 1, like
+                // `compare`'s regression exit.
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => fail(&e),
     }

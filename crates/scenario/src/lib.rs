@@ -65,8 +65,8 @@ pub use desp::SchedulerKind;
 pub use listing::library_listing;
 pub use report::{sweep_table, write_sweep_reports, Cell, ReportTable, DEFAULT_OUT_DIR};
 pub use runner::{
-    run_sweep, run_sweep_traced, JobTrace, MetricEstimate, PointSummary, RunOptions, SweepResult,
-    CONFIDENCE,
+    run_sweep, run_sweep_traced, run_sweep_traced_with, JobTrace, MetricEstimate, PointSummary,
+    RunOptions, SweepResult, CONFIDENCE,
 };
 pub use spec::{
     apply_param, arrival_to_string, params_help_text, parse_arrival, Scenario, SweepAxis,

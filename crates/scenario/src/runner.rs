@@ -31,7 +31,7 @@ use ocb::{Arrival, ObjectBase, WorkloadGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use voodb::{workload_phase, PhaseResult, Simulation};
-use vtrace::TraceRecorder;
+use vtrace::{RecorderConfig, TraceRecorder};
 
 /// Salt decorrelating workload seeds from database seeds (the same
 /// constant the bench harness uses, so scenario runs are comparable).
@@ -231,12 +231,12 @@ pub struct JobTrace {
 /// # Errors
 /// Returns the first validation error; the run itself cannot fail.
 pub fn run_sweep(scenario: &Scenario, options: &RunOptions) -> Result<SweepResult, String> {
-    let (result, _probes) = run_sweep_probed(scenario, options, || NoProbe)?;
+    let (result, _probes) = run_sweep_probed(scenario, options, |_| NoProbe)?;
     Ok(result)
 }
 
-/// Runs the whole sweep with a [`TraceRecorder`] on every job,
-/// returning the aggregated result plus one [`JobTrace`] per
+/// Runs the whole sweep with a default-configured [`TraceRecorder`] on
+/// every job, returning the aggregated result plus one [`JobTrace`] per
 /// (point × replication) in job order. The [`SweepResult`] is identical
 /// to an untraced [`run_sweep`].
 ///
@@ -246,12 +246,29 @@ pub fn run_sweep_traced(
     scenario: &Scenario,
     options: &RunOptions,
 ) -> Result<(SweepResult, Vec<JobTrace>), String> {
-    let (result, probes) = run_sweep_probed(scenario, options, TraceRecorder::new)?;
+    run_sweep_traced_with(scenario, options, &RecorderConfig::new())
+}
+
+/// [`run_sweep_traced`] with an explicit [`RecorderConfig`] (shards,
+/// sampling, watch sinks). Each job's recorder comes from
+/// [`RecorderConfig::build_for_job`], so sampling seeds and watch
+/// labels are deterministic per (point × replication); recorders are
+/// flushed before being returned.
+///
+/// # Errors
+/// Returns the first validation error.
+pub fn run_sweep_traced_with(
+    scenario: &Scenario,
+    options: &RunOptions,
+    config: &RecorderConfig,
+) -> Result<(SweepResult, Vec<JobTrace>), String> {
+    let (result, probes) = run_sweep_probed(scenario, options, |job| config.build_for_job(job))?;
     let reps = result.replications;
     let traces = probes
         .into_iter()
         .enumerate()
-        .map(|(job, (phase, recorder))| {
+        .map(|(job, (phase, mut recorder))| {
+            recorder.flush();
             let point = job / reps;
             JobTrace {
                 point,
@@ -267,7 +284,7 @@ pub fn run_sweep_traced(
 
 /// The generic sweep engine behind [`run_sweep`] / [`run_sweep_traced`]:
 /// shards the (point × replication) job grid over scoped threads,
-/// attaching a fresh probe from `make_probe` to every job.
+/// attaching a fresh probe from `make_probe(job_index)` to every job.
 fn run_sweep_probed<P, F>(
     scenario: &Scenario,
     options: &RunOptions,
@@ -275,7 +292,7 @@ fn run_sweep_probed<P, F>(
 ) -> Result<(SweepResult, Vec<(PhaseResult, P)>), String>
 where
     P: Probe + Send,
-    F: Fn() -> P + Sync,
+    F: Fn(usize) -> P + Sync,
 {
     let mut scenario = scenario.clone();
     if let Some(reps) = options.reps {
@@ -342,7 +359,7 @@ where
                     base,
                     point,
                     replication_seed(p_seed, r),
-                    make_probe(),
+                    make_probe(job),
                     options.scheduler,
                 );
                 *slots[job].lock().expect("job slot poisoned") = Some(result);

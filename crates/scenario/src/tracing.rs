@@ -37,7 +37,17 @@ pub fn job_metrics(job: &JobTrace) -> BTreeMap<String, f64> {
         .map(|(name, value)| (name.to_owned(), value))
         .collect();
     metrics.insert("events".into(), job.result.events as f64);
-    metrics.insert("spans".into(), job.recorder.spans().len() as f64);
+    metrics.insert("spans".into(), job.recorder.spans_offered() as f64);
+    let recorded = job.recorder.spans_recorded();
+    if recorded < job.recorder.spans_offered() {
+        // Bounded-loss sampling dropped spans: report the loss instead
+        // of silently under-counting.
+        metrics.insert("spans_recorded".into(), recorded as f64);
+        metrics.insert(
+            "span_sample_loss".into(),
+            (job.recorder.spans_offered() - recorded) as f64,
+        );
+    }
     for &stage in STAGE_METRICS {
         let Some(hist) = job.recorder.stage_histograms().get(stage) else {
             continue;

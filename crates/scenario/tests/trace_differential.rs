@@ -1,0 +1,134 @@
+//! Telemetry differential: recording must observe, never perturb, and
+//! the sharded recorder must export the same bytes at any shard count.
+//!
+//! Three invariants over the full smoke scenario:
+//!
+//! * traced sweep results are bit-identical to the untraced run —
+//!   at 1, 2 and 8 shards;
+//! * the exported artifacts (span JSONL, series CSV) are byte-identical
+//!   across shard counts: shard routing and merge order are invisible
+//!   in the output;
+//! * every exported stage percentile is bit-identical across shard
+//!   counts — per-shard histograms merge order-invariantly.
+
+use scenario::{run_sweep, run_sweep_traced_with, JobTrace, RunOptions, Scenario, SweepResult};
+use std::path::PathBuf;
+use vtrace::{series_to_csv, spans_to_jsonl, RecorderConfig, STAGE_METRICS};
+
+fn smoke() -> Scenario {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios/smoke.toml");
+    let text = std::fs::read_to_string(&path).expect("smoke scenario readable");
+    Scenario::parse(&text).expect("smoke scenario valid")
+}
+
+fn options() -> RunOptions {
+    RunOptions {
+        threads: Some(2),
+        reps: Some(2),
+        seed: Some(42),
+        ..RunOptions::default()
+    }
+}
+
+fn traced_at(shards: usize) -> (SweepResult, Vec<JobTrace>) {
+    let config = RecorderConfig::new().shards(shards);
+    run_sweep_traced_with(&smoke(), &options(), &config).expect("traced run")
+}
+
+fn assert_results_identical(a: &SweepResult, b: &SweepResult, what: &str) {
+    assert_eq!(a.points.len(), b.points.len(), "{what}");
+    for (pa, pb) in a.points.iter().zip(&b.points) {
+        assert_eq!(pa.label, pb.label, "{what}");
+        for (ma, mb) in pa.metrics.iter().zip(&pb.metrics) {
+            assert_eq!(ma.name, mb.name, "{what}");
+            assert_eq!(
+                ma.mean.to_bits(),
+                mb.mean.to_bits(),
+                "{what}: {} / {}: {} vs {}",
+                pa.label,
+                ma.name,
+                ma.mean,
+                mb.mean
+            );
+            assert_eq!(
+                ma.half_width.to_bits(),
+                mb.half_width.to_bits(),
+                "{what}: {} / {} (half-width)",
+                pa.label,
+                ma.name
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_sweep_matches_untraced_at_one_two_and_eight_shards() {
+    let untraced = run_sweep(&smoke(), &options()).expect("untraced run");
+    for shards in [1usize, 2, 8] {
+        let (traced, traces) = traced_at(shards);
+        assert_results_identical(&untraced, &traced, &format!("{shards} shards vs untraced"));
+        for job in &traces {
+            assert_eq!(job.recorder.shard_count(), shards);
+            assert_eq!(job.recorder.open_spans(), 0);
+        }
+    }
+}
+
+#[test]
+fn exported_artifacts_are_byte_identical_across_shard_counts() {
+    let (_, base) = traced_at(1);
+    for shards in [2usize, 8] {
+        let (_, traces) = traced_at(shards);
+        assert_eq!(base.len(), traces.len());
+        for (a, b) in base.iter().zip(&traces) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.rep, b.rep);
+            // Span export preserves commit order whatever the routing.
+            assert_eq!(
+                spans_to_jsonl(a.recorder.spans()),
+                spans_to_jsonl(b.recorder.spans()),
+                "span JSONL diverged at {shards} shards (point {}, rep {})",
+                a.point,
+                a.rep
+            );
+            assert_eq!(
+                series_to_csv(&a.recorder),
+                series_to_csv(&b.recorder),
+                "series CSV diverged at {shards} shards (point {}, rep {})",
+                a.point,
+                a.rep
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_percentiles_are_merge_order_invariant() {
+    let (_, base) = traced_at(1);
+    for shards in [2usize, 8] {
+        let (_, traces) = traced_at(shards);
+        for (a, b) in base.iter().zip(&traces) {
+            let ha = a.recorder.stage_histograms();
+            let hb = b.recorder.stage_histograms();
+            for &stage in STAGE_METRICS {
+                let (Some(one), Some(many)) = (ha.get(stage), hb.get(stage)) else {
+                    assert_eq!(ha.contains_key(stage), hb.contains_key(stage), "{stage}");
+                    continue;
+                };
+                assert_eq!(one.count(), many.count(), "{stage} count at {shards}");
+                for (p_one, p_many, which) in [
+                    (one.p50(), many.p50(), "p50"),
+                    (one.p90(), many.p90(), "p90"),
+                    (one.p99(), many.p99(), "p99"),
+                    (one.max(), many.max(), "max"),
+                ] {
+                    assert_eq!(
+                        p_one.to_bits(),
+                        p_many.to_bits(),
+                        "{stage} {which} diverged at {shards} shards: {p_one} vs {p_many}"
+                    );
+                }
+            }
+        }
+    }
+}

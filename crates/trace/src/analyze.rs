@@ -141,27 +141,98 @@ pub enum Direction {
     Neutral,
 }
 
-/// Classifies a metric name for regression checking.
-pub fn direction_of(metric: &str) -> Direction {
-    match metric {
-        "hit_ratio" | "throughput_tps" => Direction::LowerWorse,
-        "spans" | "transactions" | "traced_spans_per_run" => Direction::Neutral,
-        _ if metric.ends_with("_ms") => Direction::HigherWorse,
-        // engine_bench measurements (see `RunSummary::from_bench_json`):
-        // throughput regresses downwards, overhead and speedup have
-        // their natural directions. `contains`, not `ends_with`: the
-        // scheduler variants ("..._events_per_sec_heap"/"_noop") carry
-        // a trailing qualifier.
-        _ if metric.contains("_events_per_sec") => Direction::LowerWorse,
-        _ if metric.contains("_tx_per_sec") => Direction::LowerWorse,
-        _ if metric.ends_with("_overhead_pct") => Direction::HigherWorse,
-        _ if metric.ends_with("_speedup_x") => Direction::LowerWorse,
-        // Streaming-pipeline memory: peak in-flight transaction slots
-        // growing means the O(MPL) guarantee is eroding.
-        _ if metric.ends_with("_peak_slots") => Direction::HigherWorse,
-        "ios" | "reads" | "writes" | "ios_per_tx" | "events" | "restarts" => Direction::HigherWorse,
-        _ => Direction::Neutral,
+/// How a [`DirectionRule`] matches a metric name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricPattern {
+    /// The whole name equals the pattern.
+    Exact(&'static str),
+    /// The name ends with the pattern.
+    Suffix(&'static str),
+    /// The name contains the pattern anywhere. (Used where a trailing
+    /// qualifier follows the unit, e.g. `…_events_per_sec_heap`.)
+    Contains(&'static str),
+}
+
+impl MetricPattern {
+    /// Whether `metric` matches this pattern.
+    pub fn matches(&self, metric: &str) -> bool {
+        match self {
+            MetricPattern::Exact(p) => metric == *p,
+            MetricPattern::Suffix(p) => metric.ends_with(p),
+            MetricPattern::Contains(p) => metric.contains(p),
+        }
     }
+}
+
+/// One entry of the metric-direction registry.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectionRule {
+    /// Name pattern this rule covers.
+    pub pattern: MetricPattern,
+    /// Regression direction for matching metrics.
+    pub direction: Direction,
+}
+
+const fn rule(pattern: MetricPattern, direction: Direction) -> DirectionRule {
+    DirectionRule { pattern, direction }
+}
+
+/// The one metric-direction registry, in priority order (first match
+/// wins): consumed by `voodb compare`, `voodb bench-summary` and the CI
+/// perf gate alike, so a metric can never regress in one tool's
+/// direction and improve in another's. Latencies and I/O counts regress
+/// upwards; hit ratio, throughput and speedups regress downwards;
+/// bookkeeping counts are neutral. Unmatched names are
+/// [`Direction::Neutral`].
+pub const DIRECTION_RULES: &[DirectionRule] = &[
+    rule(MetricPattern::Exact("hit_ratio"), Direction::LowerWorse),
+    rule(
+        MetricPattern::Exact("throughput_tps"),
+        Direction::LowerWorse,
+    ),
+    rule(MetricPattern::Exact("spans"), Direction::Neutral),
+    rule(MetricPattern::Exact("transactions"), Direction::Neutral),
+    rule(
+        MetricPattern::Exact("traced_spans_per_run"),
+        Direction::Neutral,
+    ),
+    rule(MetricPattern::Suffix("_ms"), Direction::HigherWorse),
+    // engine_bench measurements (see `RunSummary::from_bench_json`):
+    // throughput regresses downwards, overhead and speedup have their
+    // natural directions. `Contains`, not `Suffix`: the scheduler
+    // variants ("..._events_per_sec_heap"/"_noop") carry a trailing
+    // qualifier.
+    rule(
+        MetricPattern::Contains("_events_per_sec"),
+        Direction::LowerWorse,
+    ),
+    rule(
+        MetricPattern::Contains("_tx_per_sec"),
+        Direction::LowerWorse,
+    ),
+    rule(
+        MetricPattern::Suffix("_overhead_pct"),
+        Direction::HigherWorse,
+    ),
+    rule(MetricPattern::Suffix("_speedup_x"), Direction::LowerWorse),
+    // Streaming-pipeline memory: peak in-flight transaction slots
+    // growing means the O(MPL) guarantee is eroding.
+    rule(MetricPattern::Suffix("_peak_slots"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("ios"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("reads"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("writes"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("ios_per_tx"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("events"), Direction::HigherWorse),
+    rule(MetricPattern::Exact("restarts"), Direction::HigherWorse),
+];
+
+/// Classifies a metric name for regression checking: the first matching
+/// [`DIRECTION_RULES`] entry wins.
+pub fn direction_of(metric: &str) -> Direction {
+    DIRECTION_RULES
+        .iter()
+        .find(|rule| rule.pattern.matches(metric))
+        .map_or(Direction::Neutral, |rule| rule.direction)
 }
 
 /// One metric's comparison between two runs.
@@ -410,6 +481,45 @@ mod tests {
             Direction::HigherWorse
         );
         assert_eq!(direction_of("traced_spans_per_run"), Direction::Neutral);
+    }
+
+    #[test]
+    fn registry_covers_every_bench_engine_metric() {
+        // Every metric engine_bench emits into BENCH_engine.json, with
+        // the direction the CI perf gate relies on. A new bench metric
+        // must be added here (and to DIRECTION_RULES if a fresh shape).
+        let expected = [
+            ("kernel_mm1_events_per_sec", Direction::LowerWorse),
+            ("kernel_mm1_events_per_sec_heap", Direction::LowerWorse),
+            ("kernel_calendar_speedup_x", Direction::LowerWorse),
+            ("voodb_model_events_per_sec_noop", Direction::LowerWorse),
+            ("voodb_model_events_per_sec_heap", Direction::LowerWorse),
+            ("voodb_model_events_per_sec_traced", Direction::LowerWorse),
+            ("trace_recorder_overhead_pct", Direction::HigherWorse),
+            ("traced_spans_per_run", Direction::Neutral),
+            ("workload_gen_tx_per_sec", Direction::LowerWorse),
+            ("stream_phase_tx_per_sec", Direction::LowerWorse),
+            ("stream_slab_peak_slots", Direction::HigherWorse),
+        ];
+        for (metric, direction) in expected {
+            assert_eq!(direction_of(metric), direction, "{metric}");
+            assert!(
+                DIRECTION_RULES
+                    .iter()
+                    .any(|rule| rule.pattern.matches(metric)),
+                "{metric} must match a registry rule"
+            );
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        // A name matching several rules takes the earliest: the "_ms"
+        // suffix rule precedes "_overhead_pct", and exact names precede
+        // every pattern rule.
+        assert_eq!(direction_of("x_overhead_pct_ms"), Direction::HigherWorse);
+        assert_eq!(direction_of("spans"), Direction::Neutral);
+        assert_eq!(direction_of("unknown_metric"), Direction::Neutral);
     }
 
     #[test]

@@ -13,12 +13,40 @@
 //! Writers and readers live together so the schema cannot drift: the
 //! `voodb analyze` path re-reads the JSONL this module wrote and
 //! rebuilds the histograms from it (round-trip asserted in tests).
+//!
+//! # Schema versioning
+//!
+//! Both formats carry [`SCHEMA_VERSION`] since v2: `summary.json` as a
+//! leading `"schema_version"` member, span JSONL as a header record
+//! (`{"schema_version":2,"spans_offered":…,"spans_recorded":…,
+//! "shards":…}` — the header also reports the sampling loss). Readers
+//! accept v1 documents (no version marker) and v2, and error cleanly on
+//! anything newer, so old traces stay comparable and unknown futures
+//! fail loudly instead of misparsing.
 
 use crate::json::{parse, write_json_string, Json};
 use crate::recorder::{SpanRecord, TraceRecorder};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Version of the trace-directory formats this build writes.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Validates a document's `"schema_version"` member: absent (v1) and
+/// anything up to [`SCHEMA_VERSION`] pass; newer versions error.
+fn check_schema_version(doc: &Json, what: &str) -> Result<(), String> {
+    match doc.get("schema_version") {
+        None => Ok(()), // v1 wrote no marker
+        Some(v) => match v.as_f64() {
+            Some(n) if n >= 1.0 && n <= SCHEMA_VERSION as f64 => Ok(()),
+            Some(n) => Err(format!(
+                "{what}: unsupported schema_version {n} (this build reads up to {SCHEMA_VERSION})"
+            )),
+            None => Err(format!("{what}: 'schema_version' is not a number")),
+        },
+    }
+}
 
 /// The `SpanRecord` JSONL fields, in line order.
 const SPAN_FIELDS: &[&str] = &[
@@ -89,11 +117,27 @@ pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// The v2 span-file header record, carrying the schema version and the
+/// sampling accounting (`spans_offered` − `spans_recorded` is the
+/// reported reservoir loss; zero without sampling).
+pub fn trace_header_jsonl(recorder: &TraceRecorder) -> String {
+    format!(
+        "{{\"schema_version\":{},\"spans_offered\":{},\"spans_recorded\":{},\"shards\":{}}}\n",
+        SCHEMA_VERSION,
+        recorder.spans_offered(),
+        recorder.spans_recorded(),
+        recorder.shard_count()
+    )
+}
+
 /// Parses a JSONL span file back into records. Blank lines are skipped;
-/// unknown fields are ignored.
+/// unknown fields are ignored. A line containing `"schema_version"` is
+/// a header record (v2+), validated and skipped; v1 files (no header)
+/// parse unchanged.
 ///
 /// # Errors
-/// Returns the first malformed line's number and parse error.
+/// Returns the first malformed line's number and parse error, or an
+/// unsupported-version error from the header.
 pub fn spans_from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
     let mut spans = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -104,6 +148,11 @@ pub fn spans_from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
         let Json::Obj(members) = value else {
             return Err(format!("line {}: expected a JSON object", lineno + 1));
         };
+        if members.iter().any(|(key, _)| key == "schema_version") {
+            check_schema_version(&Json::Obj(members), "spans jsonl")
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            continue;
+        }
         let mut span = SpanRecord::default();
         for (key, value) in &members {
             let number = value
@@ -120,7 +169,7 @@ pub fn spans_from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
 /// series in name order, samples in time order.
 pub fn series_to_csv(recorder: &TraceRecorder) -> String {
     let mut out = String::from("series,t_ms,value\n");
-    for (name, series) in recorder.series() {
+    for (name, series) in recorder.series_sorted() {
         for &(t, v) in series.samples() {
             let _ = writeln!(out, "{name},{t},{v}");
         }
@@ -203,6 +252,10 @@ impl RunSummary {
             .map(|(k, v)| (k, Json::Num(v)))
             .collect();
         Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(f64::from(SCHEMA_VERSION)),
+            ),
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("seed".into(), Json::Num(self.seed as f64)),
             ("replications".into(), Json::Num(self.replications as f64)),
@@ -211,12 +264,14 @@ impl RunSummary {
         ])
     }
 
-    /// Parses a `summary.json` document.
+    /// Parses a `summary.json` document — v1 (no `schema_version`
+    /// member) or v2; newer versions error cleanly.
     ///
     /// # Errors
     /// Returns a message naming the malformed member.
     pub fn from_json_text(text: &str) -> Result<Self, String> {
         let doc = parse(text)?;
+        check_schema_version(&doc, "summary")?;
         let scenario = doc
             .get("scenario")
             .and_then(Json::as_str)
@@ -349,7 +404,8 @@ pub fn write_job_trace(
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     let stem = job_stem(point, rep);
     let spans_path = dir.join(format!("{stem}.spans.jsonl"));
-    std::fs::write(&spans_path, spans_to_jsonl(recorder.spans()))
+    let spans_text = trace_header_jsonl(recorder) + &spans_to_jsonl(recorder.spans());
+    std::fs::write(&spans_path, spans_text)
         .map_err(|e| format!("writing {}: {e}", spans_path.display()))?;
     let series_path = dir.join(format!("{stem}.series.csv"));
     std::fs::write(&series_path, series_to_csv(recorder))
@@ -378,23 +434,27 @@ mod tests {
     }
 
     use super::*;
+    use crate::config::RecorderConfig;
     use crate::recorder::TraceRecorder;
     use desp::{Probe, SpanPoint};
 
     fn demo_recorder() -> TraceRecorder {
-        let mut r = TraceRecorder::new();
+        let mut r = RecorderConfig::new().build();
+        let hit = r.intern_series("hit_ratio");
         for tid in 0..3u64 {
             let base = tid as f64 * 10.0;
-            r.on_span(tid, SpanPoint::Submit, base);
-            r.on_span(tid, SpanPoint::Admitted, base + 1.0);
-            r.on_span(tid, SpanPoint::DiskRequest, base + 1.0);
-            r.on_span(tid, SpanPoint::DiskStart, base + 2.0);
-            r.on_span(tid, SpanPoint::DiskEnd, base + 7.0);
-            r.on_span(tid, SpanPoint::AccessDone, base + 7.0);
-            r.on_span(tid, SpanPoint::Committed, base + 8.0);
+            let slot = tid as u32;
+            r.on_span(slot, tid, SpanPoint::Submit, base);
+            r.on_span(slot, tid, SpanPoint::Admitted, base + 1.0);
+            r.on_span(slot, tid, SpanPoint::DiskRequest, base + 1.0);
+            r.on_span(slot, tid, SpanPoint::DiskStart, base + 2.0);
+            r.on_span(slot, tid, SpanPoint::DiskEnd, base + 7.0);
+            r.on_span(slot, tid, SpanPoint::AccessDone, base + 7.0);
+            r.on_span(slot, tid, SpanPoint::Committed, base + 8.0);
         }
-        r.on_sample("hit_ratio", 5.0, 0.5);
-        r.on_sample("hit_ratio", 15.0, 0.75);
+        r.on_sample(hit, 5.0, 0.5);
+        r.on_sample(hit, 15.0, 0.75);
+        r.flush();
         r
     }
 
@@ -405,6 +465,63 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         let parsed = spans_from_jsonl(&text).unwrap();
         assert_eq!(parsed, recorder.spans());
+        // With the v2 header prepended the spans still round-trip.
+        let with_header = trace_header_jsonl(&recorder) + &text;
+        assert_eq!(spans_from_jsonl(&with_header).unwrap(), recorder.spans());
+    }
+
+    #[test]
+    fn span_header_reports_sampling_loss() {
+        let recorder = demo_recorder();
+        assert_eq!(
+            trace_header_jsonl(&recorder),
+            "{\"schema_version\":2,\"spans_offered\":3,\"spans_recorded\":3,\"shards\":1}\n"
+        );
+    }
+
+    #[test]
+    fn unknown_schema_versions_error_cleanly() {
+        let err = spans_from_jsonl("{\"schema_version\":3}\n").unwrap_err();
+        assert!(err.contains("unsupported schema_version 3"), "{err}");
+        let err = RunSummary::from_json_text(
+            r#"{"schema_version":99,"scenario":"x","seed":0,"replications":1,"runs":[]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported schema_version 99"), "{err}");
+    }
+
+    #[test]
+    fn golden_v1_summary_still_parses() {
+        // Pinned v1 shape: no schema_version member.
+        let v1 = r#"{"scenario":"demo","seed":7,"replications":1,"runs":[{"point":0,"rep":0,"label":"base","metrics":{"ios":100}}],"aggregate":{"ios":100}}"#;
+        let summary = RunSummary::from_json_text(v1).unwrap();
+        assert_eq!(summary.scenario, "demo");
+        assert_eq!(summary.runs[0].metrics["ios"], 100.0);
+        // Pinned v1 span file: records only, no header line.
+        let spans = spans_from_jsonl("{\"tid\":4,\"response_ms\":2.5}\n").unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].tid, 4);
+    }
+
+    #[test]
+    fn golden_v2_summary_shape_is_pinned() {
+        let summary = RunSummary {
+            scenario: "demo".into(),
+            seed: 7,
+            replications: 1,
+            runs: vec![RunMetrics {
+                point: 0,
+                rep: 0,
+                label: "base".into(),
+                metrics: [("ios".to_owned(), 100.0)].into_iter().collect(),
+            }],
+        };
+        let text = summary.to_json().to_string_compact();
+        assert_eq!(
+            text,
+            r#"{"schema_version":2,"scenario":"demo","seed":7,"replications":1,"runs":[{"point":0,"rep":0,"label":"base","metrics":{"ios":100}}],"aggregate":{"ios":100}}"#
+        );
+        assert_eq!(RunSummary::from_json_text(&text).unwrap(), summary);
     }
 
     #[test]

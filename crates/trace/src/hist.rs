@@ -30,6 +30,21 @@ pub const GROWTH: f64 = 1.090_507_732_665_257_7; // 2^(1/8)
 /// simulated service time.
 pub const MIN_VALUE_MS: f64 = 1e-3;
 
+/// Mantissa (fraction) bits of the smallest `f64` ≥ `2^(k/8)` for
+/// `k = 1..8` — the sub-octave bucket edges, pre-rounded up so that
+/// `mantissa ≥ edge` is exactly `ratio ≥ 2^(octave + k/8)`. Lets
+/// [`Histogram::bucket_of`] run on pure integer compares instead of a
+/// `log2` call on every recorded observation.
+const SUB_EDGE_FRACTIONS: [u64; 7] = [
+    0x172B83C7D517B, // 2^(1/8) ≈ 1.0905077326652577
+    0x306FE0A31B716, // 2^(2/8) ≈ 1.1892071150027212
+    0x4BFDAD5362A28, // 2^(3/8) ≈ 1.2968395546510099
+    0x6A09E667F3BCD, // 2^(4/8) ≈ 1.4142135623730951
+    0x8ACE5422AA0DC, // 2^(5/8) ≈ 1.5422108254079410
+    0xAE89F995AD3AE, // 2^(6/8) ≈ 1.6817928305074292
+    0xD5818DCFBA488, // 2^(7/8) ≈ 1.8340080864093427
+];
+
 /// A log-bucketed histogram of positive latencies (milliseconds).
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
@@ -57,8 +72,22 @@ impl Histogram {
     }
 
     fn bucket_of(value: f64) -> usize {
-        // log2(value / MIN) * SUB_BUCKETS, floored; value > MIN here.
-        ((value / MIN_VALUE_MS).log2() * SUB_BUCKETS as f64).floor() as usize
+        // Exact floor(log2(value / MIN) · SUB_BUCKETS), without libm:
+        // the ratio's IEEE exponent gives the octave and its mantissa
+        // picks the sub-octave by comparison against the 2^(k/8) edges.
+        // 2^(k/8) is irrational for k in 1..8, so no finite ratio ever
+        // sits on an edge and the floor is unambiguous. `value > MIN`
+        // here guarantees `ratio ≥ 1 + 2^-52`, i.e. a normal float with
+        // a non-negative unbiased exponent.
+        let ratio = value / MIN_VALUE_MS;
+        let bits = ratio.to_bits();
+        let octave = ((bits >> 52) & 0x7FF).saturating_sub(1023) as usize;
+        let frac = bits & ((1u64 << 52) - 1);
+        let mut sub = 0usize;
+        for &edge in &SUB_EDGE_FRACTIONS {
+            sub += (frac >= edge) as usize;
+        }
+        octave * SUB_BUCKETS as usize + sub
     }
 
     /// Upper edge of bucket `i`.
@@ -68,6 +97,7 @@ impl Histogram {
 
     /// Records one observation. Non-finite values are ignored; values at
     /// or below [`MIN_VALUE_MS`] count as zero.
+    #[inline]
     pub fn record(&mut self, value: f64) {
         if !value.is_finite() {
             return;
@@ -243,6 +273,26 @@ mod tests {
             assert_eq!(left.quantile(q), all.quantile(q));
         }
         assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn integer_bucketing_matches_log2_formula() {
+        // Deterministic log-spread sweep across the whole dynamic range
+        // (sub-ms to hours), plus exact powers of two of the ratio where
+        // the octave boundary must be taken, not missed by one.
+        let mut v = MIN_VALUE_MS * 1.000001;
+        while v < 1e7 {
+            let expect = ((v / MIN_VALUE_MS).log2() * SUB_BUCKETS as f64).floor() as usize;
+            assert_eq!(Histogram::bucket_of(v), expect, "value {v:e}");
+            v *= 1.003;
+        }
+        for e in 0..40 {
+            let v = MIN_VALUE_MS * (1u64 << e) as f64;
+            if v > MIN_VALUE_MS {
+                let expect = ((v / MIN_VALUE_MS).log2() * SUB_BUCKETS as f64).floor() as usize;
+                assert_eq!(Histogram::bucket_of(v), expect, "pow2 {e}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct TimeSeries {
     capacity: usize,
     /// Keep every `stride`-th offered sample.
     stride: u64,
+    /// Offers to skip before the next retained sample (0 ⇒ retain the
+    /// next offer) — a countdown instead of a `offered % stride` on
+    /// the hot path; the modulo runs only on the (rare) keep path.
+    until_keep: u64,
     offered: u64,
     weighted: TimeWeighted,
 }
@@ -43,6 +47,7 @@ impl TimeSeries {
             samples: Vec::new(),
             capacity: capacity.max(2),
             stride: 1,
+            until_keep: 0,
             offered: 0,
             weighted: TimeWeighted::new(),
         }
@@ -54,24 +59,37 @@ impl TimeSeries {
     }
 
     /// Offers one `(instant, value)` observation.
+    #[inline]
     pub fn record(&mut self, now: f64, value: f64) {
         self.weighted.update(now, value);
-        if self.offered.is_multiple_of(self.stride) {
-            if self.samples.len() >= self.capacity {
-                // Decimate: drop every second retained point, double the
-                // stride. Keeps index parity 0, so the first sample
-                // (and the overall shape) survives.
-                let mut keep = 0usize;
-                self.samples.retain(|_| {
-                    let retained = keep.is_multiple_of(2);
-                    keep += 1;
-                    retained
-                });
-                self.stride *= 2;
-            }
-            self.samples.push((now, value));
-        }
         self.offered += 1;
+        if self.until_keep > 0 {
+            self.until_keep -= 1;
+            return;
+        }
+        self.keep(now, value);
+    }
+
+    /// Retains the current offer (offer index `offered − 1`, a multiple
+    /// of the stride) and re-arms the skip countdown.
+    fn keep(&mut self, now: f64, value: f64) {
+        if self.samples.len() >= self.capacity {
+            // Decimate: drop every second retained point, double the
+            // stride. Keeps index parity 0, so the first sample
+            // (and the overall shape) survives.
+            let mut keep = 0usize;
+            self.samples.retain(|_| {
+                let retained = keep.is_multiple_of(2);
+                keep += 1;
+                retained
+            });
+            self.stride *= 2;
+        }
+        self.samples.push((now, value));
+        // Next keeper is the next multiple of the (possibly doubled)
+        // stride after the index just kept.
+        let kept = self.offered - 1;
+        self.until_keep = self.stride - 1 - kept % self.stride;
     }
 
     /// The retained samples, in time order.

@@ -1,0 +1,42 @@
+//! Live run watching: decimated time-series samples streamed out of a
+//! running phase.
+//!
+//! A [`WatchSink`] (an `mpsc` sender plus an emission interval in
+//! simulated milliseconds) can be attached to a
+//! [`RecorderConfig`](crate::RecorderConfig). The recorder then emits
+//! one [`WatchSample`] per interval at commit boundaries — throughput,
+//! response p99, MPL queue depth and buffer hit ratio — which the
+//! `voodb run --watch` CLI drains to the terminal or a JSONL file while
+//! the simulation runs.
+//!
+//! Emission is keyed to *simulated* time, so watching never perturbs
+//! results or determinism; a closed/full receiver is ignored (samples
+//! are advisory, the run never blocks on its observer).
+
+use std::sync::mpsc::Sender;
+
+/// One live telemetry sample, emitted at most once per watch interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchSample {
+    /// Index of the (point × replication) job emitting the sample.
+    pub job: usize,
+    /// Simulated instant of the emitting commit, in ms.
+    pub t_ms: f64,
+    /// Commits per simulated second since the previous sample.
+    pub throughput_tps: f64,
+    /// Response-time p99 over all commits so far, in ms.
+    pub p99_ms: f64,
+    /// Transactions queued for an MPL slot at the emitting commit.
+    pub mpl_queue: f64,
+    /// Buffer hit ratio at the emitting commit.
+    pub hit_ratio: f64,
+}
+
+/// Where watch samples go: a channel sender and the emission cadence.
+#[derive(Clone, Debug)]
+pub struct WatchSink {
+    /// Receives the samples; send errors are ignored.
+    pub sender: Sender<WatchSample>,
+    /// Minimum simulated milliseconds between samples (must be > 0).
+    pub interval_ms: f64,
+}
