@@ -27,7 +27,11 @@ pub const RESULT_CRATES: &[&str] = &["desp", "core", "ocb", "bufmgr", "clusterin
 
 /// Files forming the event-dispatch / transaction-slab hot path, where
 /// a stray `unwrap` turns a recoverable modelling bug into an abort.
-pub const HOT_PATH_FILES: &[&str] = &["crates/desp/src/engine.rs", "crates/core/src/txslab.rs"];
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/desp/src/engine.rs",
+    "crates/core/src/txslab.rs",
+    "crates/core/src/model.rs",
+];
 
 /// Iteration methods whose order is arbitrary on `HashMap`/`HashSet`.
 const ITER_METHODS: &[&str] = &[

@@ -9,15 +9,19 @@
 //! * `engine floor` — the engine + calendar queue dispatching a
 //!   trivial self-rescheduling model: the per-event cost with no model
 //!   work at all;
-//! * `hold pattern` — calendar vs heap on an M/M/1-like hold model at
-//!   several queue populations (collapsed mode, ring mode, and
-//!   overflow-heavy), the classic priority-queue benchmark.
+//! * `hold pattern` — calendar vs heap vs timer wheel on an M/M/1-like
+//!   hold model across queue populations from 3 pending events to one
+//!   million (collapsed mode, ring mode, overflow-heavy, and the
+//!   million-user think-time deluge), the classic priority-queue
+//!   benchmark. The calendar column also reports how many times the
+//!   ring resized and how many pushes landed in the overflow heap, the
+//!   two adaptivity channels the 1M population stresses.
 //!
 //! ```text
 //! cargo run --release -p voodb-bench --bin schedbench -- [--events 4000000]
 //! ```
 
-use desp::sched::{CalendarQueue, EventHeap, Scheduler};
+use desp::sched::{CalendarQueue, EventHeap, Scheduler, TimerWheel};
 use desp::{Context, Engine, Model, NoProbe, QueueKind, RandomStream, SimTime};
 use std::time::Instant;
 use voodb_bench::Args;
@@ -76,22 +80,26 @@ fn engine_floor(events: u64, fanout: usize) {
 
 /// The classic hold benchmark: pop one event, push its successor an
 /// exponential delay ahead; the queue population stays at `fanout`.
-fn hold_pattern<S: Scheduler<u64>>(events: usize, fanout: usize) -> (f64, u64) {
+fn hold_pattern<S: Scheduler<u64>>(events: usize, fanout: usize, mean_ms: f64) -> (f64, u64, S) {
     let mut q = S::default();
     let mut rng = RandomStream::new(42);
     let mut now = 0.0f64;
     let mut sink = 0u64;
     for i in 0..fanout as u64 {
-        q.push(SimTime::from_ms(rng.expo(1.11)), i);
+        q.push(SimTime::from_ms(rng.expo(mean_ms)), i);
     }
     let start = Instant::now();
     for i in 0..events as u64 {
         let (t, e) = q.pop().expect("non-empty");
         now = t.as_ms();
         sink = sink.wrapping_add(e);
-        q.push(SimTime::from_ms(now + rng.expo(1.11)), i);
+        q.push(SimTime::from_ms(now + rng.expo(mean_ms)), i);
     }
-    (start.elapsed().as_secs_f64(), sink.wrapping_add(now as u64))
+    (
+        start.elapsed().as_secs_f64(),
+        sink.wrapping_add(now as u64),
+        q,
+    )
 }
 
 fn main() {
@@ -105,15 +113,27 @@ fn main() {
     let events = args.get("events", 4_000_000usize);
     ln_ab(events as u64);
     engine_floor(events as u64, 3);
-    for fanout in [3usize, 32, 1024] {
-        let (tc, s1) = hold_pattern::<CalendarQueue<u64>>(events, fanout);
-        let (th, s2) = hold_pattern::<EventHeap<u64>>(events, fanout);
-        assert_eq!(s1, s2, "schedulers disagreed on the pop sequence");
-        println!(
-            "hold fanout {fanout:>5}: calendar {:>6.1} M/s   heap {:>6.1} M/s   ({:.2}x)",
-            events as f64 / tc / 1e6,
-            events as f64 / th / 1e6,
-            th / tc,
-        );
+    // Pending-population axis: 3 pending events is the paper's NUSERS
+    // scale; 1M is the cohortless think-time deluge (one wake per user).
+    // Two hold regimes: tight 1.11 ms holds (events land on top of each
+    // other — ring/collapse pressure) and far-future 50 s think times
+    // (the regime the wheel's cascading levels are built for).
+    for (regime, mean_ms) in [("hold ", 1.11), ("think", 50_000.0)] {
+        for fanout in [3usize, 32, 1024, 100_000, 1_000_000] {
+            let (tc, s1, cal) = hold_pattern::<CalendarQueue<u64>>(events, fanout, mean_ms);
+            let (th, s2, _) = hold_pattern::<EventHeap<u64>>(events, fanout, mean_ms);
+            let (tw, s3, _) = hold_pattern::<TimerWheel<u64>>(events, fanout, mean_ms);
+            assert_eq!(s1, s2, "calendar and heap disagreed on the pop sequence");
+            assert_eq!(s1, s3, "calendar and wheel disagreed on the pop sequence");
+            println!(
+                "{regime} fanout {fanout:>7}: calendar {:>6.1} M/s   heap {:>6.1} M/s   \
+                 wheel {:>6.1} M/s   (cal resizes {}, overflow pushes {})",
+                events as f64 / tc / 1e6,
+                events as f64 / th / 1e6,
+                events as f64 / tw / 1e6,
+                cal.resize_count(),
+                cal.overflow_push_count(),
+            );
+        }
     }
 }

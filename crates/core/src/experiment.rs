@@ -16,7 +16,7 @@ use crate::params::VoodbParams;
 use crate::results::PhaseResult;
 use desp::{
     CalendarKind, Engine, HeapKind, MetricSet, NoProbe, Probe, QueueKind, ReplicationPolicy,
-    ReplicationReport, Replicator, SchedulerKind, SimTime,
+    ReplicationReport, Replicator, SchedulerKind, SimTime, WheelKind,
 };
 use ocb::{
     Arrival, DatabaseParams, LazySource, ObjectBase, Transaction, TransactionSource,
@@ -60,6 +60,16 @@ impl<'a> Simulation<'a> {
         Simulation {
             model: Some(VoodbModel::new(base, params, think_time_ms, seed)),
         }
+    }
+
+    /// Selects the closed-population representation (per-user oracle or
+    /// cohort batching) and an optional explicit cohort partition; see
+    /// [`VoodbModel::set_user_population`].
+    pub fn configure_users(&mut self, user_model: ocb::UserModel, cohorts: &[ocb::UserCohort]) {
+        self.model
+            .as_mut()
+            .expect("model present")
+            .set_user_population(user_model, cohorts);
     }
 
     /// Runs one phase: executes `transactions`, measuring from index
@@ -146,6 +156,9 @@ impl<'a> Simulation<'a> {
             SchedulerKind::Heap => {
                 self.run_phase_probed_on::<P, HeapKind>(transactions, cold_count, probe)
             }
+            SchedulerKind::Wheel => {
+                self.run_phase_probed_on::<P, WheelKind>(transactions, cold_count, probe)
+            }
         }
     }
 
@@ -164,6 +177,9 @@ impl<'a> Simulation<'a> {
             }
             SchedulerKind::Heap => {
                 self.run_phase_source_on::<P, HeapKind>(source, mode, arrival, probe)
+            }
+            SchedulerKind::Wheel => {
+                self.run_phase_source_on::<P, WheelKind>(source, mode, arrival, probe)
             }
         }
     }
@@ -210,6 +226,19 @@ impl ExperimentConfig {
         self.database.validate()?;
         self.workload.validate()
     }
+
+    /// The system parameters with the user population reconciled: a
+    /// workload `users > 1` overrides the system's `NUSERS` (so sweeps
+    /// over `workload.users` — up to the million-user scenarios — drive
+    /// the closed population without touching the system table), while
+    /// the historical default of 1 leaves `system.users` in charge.
+    pub fn effective_system(&self) -> VoodbParams {
+        let mut system = self.system.clone();
+        if self.workload.users > 1 {
+            system.users = self.workload.users;
+        }
+        system
+    }
 }
 
 /// Runs one replication of the standard experiment: generate the base and
@@ -255,10 +284,11 @@ fn run_once_with<P: Probe>(
     let (source, mode) = workload_phase(generator);
     let mut simulation = Simulation::new(
         &base,
-        config.system.clone(),
+        config.effective_system(),
         config.workload.think_time_ms,
         seed,
     );
+    simulation.configure_users(config.workload.user_model, &config.workload.cohorts);
     simulation.run_phase_source_sched(source, mode, config.workload.arrival, probe, sched)
 }
 
@@ -330,10 +360,11 @@ pub fn run_dstc_study(config: &ExperimentConfig, seed: u64) -> DstcStudyResult {
 
     let mut simulation = Simulation::new(
         &base,
-        config.system.clone(),
+        config.effective_system(),
         config.workload.think_time_ms,
         seed,
     );
+    simulation.configure_users(config.workload.user_model, &config.workload.cohorts);
     let pre = simulation.run_phase(transactions.clone(), cold_count);
     // External demand on the warm state, as after the paper's first run.
     let reorg = simulation.external_reorganize();

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bman;
 pub mod cman;
 pub mod experiment;
@@ -55,6 +56,7 @@ pub mod params;
 pub mod results;
 pub mod txslab;
 
+pub use admission::{AdmissionRing, PendingArrival};
 pub use bman::{BmanStats, BufferDemand, BufferingManager};
 pub use cman::{ClusteringManager, SimReorgReport};
 pub use experiment::{

@@ -33,6 +33,27 @@
 //! terminate either on a transaction **count** or on a simulated **time
 //! horizon** with a warm-up window ([`PhaseMode`]).
 //!
+//! ### Scaling the user population
+//!
+//! Closed phases offer two representations of the same population
+//! ([`ocb::UserModel`]): the **per-user** oracle (one `Submit` event and
+//! one MPL wait-queue entry per user — the paper's literal sub-model)
+//! and the **cohort** representation, which carries the whole
+//! population as per-cohort wake heaps (one armed [`Event::CohortWake`]
+//! each), an O(1) [`AdmissionRing`] of submitted-but-unadmitted users,
+//! and a *deferred pull*: a waiting user is two machine words, not a
+//! slab slot plus a queued continuation event, so a million waiting
+//! users cost megabytes instead of gigabytes. Both representations draw
+//! the think stream in the identical order, so they produce
+//! bit-identical [`PhaseResult`]s (event counts aside) whenever wake
+//! instants don't collide across users — guaranteed for continuously
+//! distributed think times; the zero-think degenerate case is pinned
+//! separately by the differential tests. The one observable skew:
+//! cohort mode discovers source exhaustion at the (deferred) admission
+//! instead of at submission, so a hazard re-arm racing the very last
+//! pulls may observe work the per-user oracle would not — differential
+//! guarantees hold for hazard-free configurations.
+//!
 //! ### Determinism
 //!
 //! A phase is a pure function of `(base, params, seed)` regardless of
@@ -53,6 +74,7 @@
 //! transaction is immediately visible to others (no in-flight fetch
 //! queue).
 
+use crate::admission::{AdmissionRing, PendingArrival};
 use crate::bman::BufferingManager;
 use crate::cman::{ClusteringManager, SimReorgReport};
 use crate::hazards::{HazardKind, HazardModule, HazardReport};
@@ -65,10 +87,14 @@ use crate::results::PhaseResult;
 use crate::txslab::{Tid, TxSlab};
 use bufmgr::PrefetchPolicy;
 use desp::{
-    Context, Model, Probe, QueueKind, RandomStream, Resource, SeriesId, SimTime, SpanPoint,
-    SpanStage, Welford,
+    key_time, time_key, Context, Model, Probe, QueueKind, RandomStream, Resource, SeriesId,
+    SimTime, SpanPoint, SpanStage, Welford,
 };
-use ocb::{Arrival, MaterializedSource, ObjectBase, Transaction, TransactionSource};
+use ocb::{
+    Arrival, MaterializedSource, ObjectBase, Transaction, TransactionSource, UserCohort, UserModel,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// `user` value marking open-arrival transactions (no user to resubmit).
 pub(crate) const OPEN_USER: usize = usize::MAX;
@@ -146,6 +172,15 @@ pub enum Event {
         /// User whose next submission was waiting.
         user: usize,
     },
+    /// A cohort's earliest pending think time elapses (cohort user
+    /// model): every wake due now submits in (time, insertion) order,
+    /// then the cohort re-arms at its new minimum.
+    CohortWake {
+        /// Index into the resolved cohort table.
+        cohort: u32,
+        /// Arm epoch; a phase reload bumps it, orphaning in-flight wakes.
+        epoch: u32,
+    },
     /// A parked transaction's lock was granted; continue its access.
     /// Carries the transaction's **serial** (the lock manager's
     /// identity), resolved to its live slot at dispatch.
@@ -189,6 +224,22 @@ pub struct VoodbModel<'a> {
     // ----- users -----
     think_stream: RandomStream,
     think_time_ms: f64,
+    /// Representation of the closed user population.
+    user_model: UserModel,
+    /// Resolved cohort table — never empty: one implicit cohort of
+    /// (`params.users`, `think_time_ms`) when none are configured.
+    cohorts: Vec<UserCohort>,
+    /// First user index of each cohort (per-user think-time lookup).
+    cohort_starts: Vec<usize>,
+    /// Total closed population (sum of cohort sizes).
+    user_total: usize,
+    /// Per-cohort wake state (cohort user model).
+    clocks: Vec<CohortClock>,
+    /// Submitted-but-unadmitted users (cohort user model): the O(1)
+    /// FIFO standing in for the MPL scheduler's per-event wait queue.
+    ring: AdmissionRing,
+    /// The open half of the arrival process, resolved at phase load.
+    open_arrival: Option<OpenArrival>,
     // ----- bookkeeping -----
     slab: TxSlab,
     next_serial: usize,
@@ -232,6 +283,54 @@ impl Default for SeriesIds {
     }
 }
 
+/// The open half of [`Arrival`], resolved once at phase load. `None`
+/// means a closed phase, whose `Arrive` loop is never started — the
+/// open-arrival draw cannot observe a closed phase by construction.
+#[derive(Clone, Copy, Debug)]
+enum OpenArrival {
+    /// Poisson arrivals with the given mean interarrival time.
+    Poisson {
+        /// Mean interarrival time, ms.
+        mean_ms: f64,
+    },
+    /// A deterministic arrival pulse.
+    Deterministic {
+        /// Fixed interarrival time, ms.
+        interarrival_ms: f64,
+    },
+}
+
+/// Wake state of one user cohort (cohort user model).
+///
+/// `pending` holds one packed `(time_key(wake_ms) << 64) | seq` entry
+/// per thinking user — the same total order the engine dispatches in,
+/// so draining the heap submits users exactly as the per-user oracle
+/// would dispatch their `Submit` events.
+#[derive(Default)]
+struct CohortClock {
+    /// Pending wake instants (min-heap via `Reverse`).
+    pending: BinaryHeap<Reverse<u128>>,
+    /// Insertion tiebreak counter, reset per phase.
+    seq: u64,
+    /// Bumped on phase reload; in-flight wakes with an old epoch are
+    /// no-ops.
+    epoch: u32,
+    /// The earliest packed ord an engine wake is currently armed for.
+    /// Re-arming earlier leaves the old wake in flight; it drains
+    /// whatever is due when it fires (possibly nothing).
+    armed: Option<u128>,
+}
+
+impl CohortClock {
+    /// Phase reload: forget pending wakes and orphan armed ones.
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.seq = 0;
+        self.epoch = self.epoch.wrapping_add(1);
+        self.armed = None;
+    }
+}
+
 impl<'a> VoodbModel<'a> {
     /// Builds the model over `base` with the Table 3 parameters and the
     /// users' think time (OCB `THINKTIME`).
@@ -239,6 +338,7 @@ impl<'a> VoodbModel<'a> {
     /// # Panics
     /// Panics if the parameters are invalid.
     pub fn new(base: &'a ObjectBase, params: VoodbParams, think_time_ms: f64, seed: u64) -> Self {
+        // audit: construction-time validation, never on the dispatch path
         params.validate().expect("invalid VOODB parameters");
         let placement = params.initial_placement.build(base, params.page_size);
         let oman = ObjectManager::new(&placement);
@@ -273,6 +373,16 @@ impl<'a> VoodbModel<'a> {
             prefetcher,
             think_stream: RandomStream::new(seed ^ 0x7454_494E_4B45_5221),
             think_time_ms,
+            user_model: UserModel::default(),
+            cohorts: vec![UserCohort {
+                size: params.users,
+                think_time_ms,
+            }],
+            cohort_starts: vec![0],
+            user_total: params.users,
+            clocks: vec![CohortClock::default()],
+            ring: AdmissionRing::new(),
+            open_arrival: None,
             params,
             source: Box::new(MaterializedSource::new(Vec::new())),
             exhausted: false,
@@ -305,6 +415,57 @@ impl<'a> VoodbModel<'a> {
     /// Deadlock aborts (and restarts) so far.
     pub fn aborts(&self) -> u64 {
         self.aborts
+    }
+
+    /// Selects the closed-population representation and (optionally) an
+    /// explicit cohort partition. An empty `cohorts` slice keeps the
+    /// single implicit cohort of (`users`, think time); a non-empty one
+    /// overrides the population with the sum of cohort sizes — for
+    /// **both** user models, so they stay differential.
+    ///
+    /// # Panics
+    /// Panics if a cohort is invalid.
+    pub fn set_user_population(&mut self, user_model: UserModel, cohorts: &[UserCohort]) {
+        for cohort in cohorts {
+            // audit: configuration-time validation, never on the dispatch path
+            cohort.validate().expect("invalid user cohort");
+        }
+        self.user_model = user_model;
+        if cohorts.is_empty() {
+            self.cohorts = vec![UserCohort {
+                size: self.params.users,
+                think_time_ms: self.think_time_ms,
+            }];
+        } else {
+            self.cohorts = cohorts.to_vec();
+        }
+        self.cohort_starts.clear();
+        let mut start = 0usize;
+        for cohort in &self.cohorts {
+            self.cohort_starts.push(start);
+            start += cohort.size;
+        }
+        self.user_total = start;
+        self.clocks = (0..self.cohorts.len())
+            .map(|_| CohortClock::default())
+            .collect();
+    }
+
+    /// The closed population size (sum of cohort sizes).
+    pub fn user_count(&self) -> usize {
+        self.user_total
+    }
+
+    /// The active closed-population representation.
+    pub fn user_model(&self) -> UserModel {
+        self.user_model
+    }
+
+    /// Peak number of users simultaneously waiting for an MPL seat in
+    /// the cohort admission ring (cohort user model) — the O(waiting)
+    /// two-words-per-user half of the memory guarantee.
+    pub fn admission_high_water(&self) -> usize {
+        self.ring.high_water()
     }
 
     /// Continues an access once its lock is held: GETLOCK CPU on first
@@ -467,6 +628,7 @@ impl<'a> VoodbModel<'a> {
                 );
             }
         }
+        // audit: phase-load validation, never on the dispatch path
         arrival.validate().expect("invalid arrival process");
         // A horizon phase may have been cut mid-transaction: the cut
         // transactions die with the slab, so their lock entries and
@@ -488,6 +650,21 @@ impl<'a> VoodbModel<'a> {
         self.exhausted = false;
         self.mode = mode;
         self.arrival = arrival;
+        // Resolve the open half once: closed phases carry `None`, so
+        // the open-arrival draw has no closed case to reach.
+        self.open_arrival = match arrival {
+            Arrival::Closed => None,
+            Arrival::Poisson { rate_per_sec } => Some(OpenArrival::Poisson {
+                mean_ms: 1000.0 / rate_per_sec,
+            }),
+            Arrival::Deterministic { interarrival_ms } => {
+                Some(OpenArrival::Deterministic { interarrival_ms })
+            }
+        };
+        self.ring.clear();
+        for clock in &mut self.clocks {
+            clock.reset();
+        }
         self.slab.reset();
         self.next_serial = 0;
         self.completed = 0;
@@ -581,21 +758,29 @@ impl<'a> VoodbModel<'a> {
         (page as usize) % self.bman.len()
     }
 
-    fn think_delay(&mut self) -> f64 {
-        if self.think_time_ms > 0.0 {
-            self.think_stream.expo(self.think_time_ms)
+    /// One think-time draw with mean `mean_ms`. A zero mean draws
+    /// nothing from the stream, so zero-think cohorts stay
+    /// bit-compatible with the historical `think_time_ms == 0` path.
+    fn draw_think(&mut self, mean_ms: f64) -> f64 {
+        if mean_ms > 0.0 {
+            self.think_stream.expo(mean_ms)
         } else {
             0.0
         }
     }
 
+    /// The cohort a user index belongs to (per-user oracle lookup;
+    /// cohorts are contiguous user ranges).
+    fn cohort_of_user(&self, user: usize) -> usize {
+        self.cohort_starts.partition_point(|&start| start <= user) - 1
+    }
+
     /// Delay until the next open-system arrival. Draws from the users'
     /// stream (the arrival process *is* the open Users sub-model).
-    fn interarrival_delay(&mut self) -> f64 {
-        match self.arrival {
-            Arrival::Closed => unreachable!("closed workloads use think_delay"),
-            Arrival::Poisson { rate_per_sec } => self.think_stream.expo(1000.0 / rate_per_sec),
-            Arrival::Deterministic { interarrival_ms } => interarrival_ms,
+    fn open_delay(&mut self, open: OpenArrival) -> f64 {
+        match open {
+            OpenArrival::Poisson { mean_ms } => self.think_stream.expo(mean_ms),
+            OpenArrival::Deterministic { interarrival_ms } => interarrival_ms,
         }
     }
 
@@ -629,6 +814,139 @@ impl<'a> VoodbModel<'a> {
         // Transaction Manager admission through the scheduler (MPL).
         self.scheduler.request(Event::Admitted(tid), ctx);
         true
+    }
+
+    /// Inserts a wake for one user of cohort `c` at absolute `at`,
+    /// re-arming the cohort if this lowers its earliest pending wake.
+    fn queue_cohort_wake<P: Probe, Q: QueueKind>(
+        &mut self,
+        c: usize,
+        at: SimTime,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
+        let clock = &mut self.clocks[c];
+        let ord = (u128::from(time_key(at.as_ms())) << 64) | u128::from(clock.seq);
+        clock.seq += 1;
+        clock.pending.push(Reverse(ord));
+        self.arm_cohort(c, ctx);
+    }
+
+    /// Arms one engine [`Event::CohortWake`] at cohort `c`'s earliest
+    /// pending instant, unless an armed wake already covers it.
+    fn arm_cohort<P: Probe, Q: QueueKind>(&mut self, c: usize, ctx: &mut Context<'_, Event, P, Q>) {
+        let clock = &mut self.clocks[c];
+        let Some(&Reverse(min)) = clock.pending.peek() else {
+            return;
+        };
+        if clock.armed.is_some_and(|armed| armed <= min) {
+            return;
+        }
+        clock.armed = Some(min);
+        let at = key_time((min >> 64) as u64);
+        ctx.schedule_at(
+            at,
+            Event::CohortWake {
+                cohort: c as u32,
+                epoch: clock.epoch,
+            },
+        );
+    }
+
+    /// One user of cohort `c` submits now: grab an MPL seat if one is
+    /// free (the pull is deferred — the transaction materializes only
+    /// at admission) or join the admission ring as two machine words.
+    fn submit_from_cohort<P: Probe, Q: QueueKind>(
+        &mut self,
+        c: u32,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
+        if self.exhausted {
+            return;
+        }
+        let now = ctx.now();
+        if self.scheduler.try_acquire(now) {
+            self.admit_cohort_user(c, now, ctx);
+        } else {
+            self.ring.push_back(PendingArrival {
+                cohort: c,
+                submitted: now,
+            });
+        }
+    }
+
+    /// Admission of a cohort user that holds a freshly acquired MPL
+    /// seat: pull the next transaction into a slab slot and start it.
+    /// The `Submit` span is back-dated to the submission instant and
+    /// the slab's `user` field carries the cohort index (all a
+    /// resubmission needs). If the source is exhausted, the seat goes
+    /// back and the remaining ring — unservable forever — is dropped.
+    fn admit_cohort_user<P: Probe, Q: QueueKind>(
+        &mut self,
+        cohort: u32,
+        submitted: SimTime,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
+        let tid = self.slab.acquire();
+        if !self.source.next_into(self.slab.tx_buf_mut(tid)) {
+            self.slab.abandon(tid);
+            self.exhausted = true;
+            self.scheduler.release(ctx);
+            self.ring.clear();
+            return;
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let measured = match self.mode {
+            PhaseMode::Count { cold } => serial >= cold,
+            // Horizon phases decide at commit time (warm-up window).
+            PhaseMode::Horizon { .. } => false,
+        };
+        self.slab
+            .commit(tid, serial, cohort as usize, submitted, measured);
+        ctx.emit_span_at(submitted, tid as u32, serial as u64, SpanPoint::Submit);
+        ctx.schedule_now(Event::Admitted(tid));
+    }
+
+    /// A commit freed an MPL seat (cohort user model): admit the
+    /// longest-waiting ring entry, if any — FIFO, exactly as the
+    /// per-user wait queue would grant it.
+    fn admit_from_ring<P: Probe, Q: QueueKind>(&mut self, ctx: &mut Context<'_, Event, P, Q>) {
+        if self.exhausted {
+            self.ring.clear();
+            return;
+        }
+        let Some(entry) = self.ring.pop_front() else {
+            return;
+        };
+        let granted = self.scheduler.try_acquire(ctx.now());
+        debug_assert!(granted, "a just-released MPL seat must be grantable");
+        self.admit_cohort_user(entry.cohort, entry.submitted, ctx);
+    }
+
+    /// Users activity after a commit (or a reorganisation) in a closed
+    /// phase: the user thinks, then submits its next transaction. In
+    /// cohort mode `user` carries the cohort index and the wake joins
+    /// the cohort's heap instead of costing its own `Submit` event.
+    fn resubmit_user<P: Probe, Q: QueueKind>(
+        &mut self,
+        user: usize,
+        ctx: &mut Context<'_, Event, P, Q>,
+    ) {
+        match self.user_model {
+            UserModel::PerUser => {
+                let mean = self.cohorts[self.cohort_of_user(user)].think_time_ms;
+                let delay = self.draw_think(mean);
+                ctx.schedule(delay, Event::Submit { user });
+            }
+            UserModel::Cohort => {
+                let mean = self.cohorts[user].think_time_ms;
+                let delay = self.draw_think(mean);
+                // `now + delay`: the identical float op `ctx.schedule`
+                // applies, so wake instants match the oracle bitwise.
+                let at = ctx.now() + delay;
+                self.queue_cohort_wake(user, at, ctx);
+            }
+        }
     }
 
     /// Buffering Manager + I/O Subsystem step for the current access.
@@ -745,6 +1063,9 @@ impl<'a> VoodbModel<'a> {
             self.cpu.release(ctx);
         }
         self.scheduler.release(ctx);
+        if matches!(self.user_model, UserModel::Cohort) {
+            self.admit_from_ring(ctx);
+        }
         self.completed += 1;
         let measured = match self.mode {
             PhaseMode::Count { .. } => tx_measured,
@@ -798,7 +1119,12 @@ impl<'a> VoodbModel<'a> {
             let ids = self.series_ids;
             ctx.emit_sample(ids.hit_ratio, hit_ratio);
             ctx.emit_sample(ids.active_transactions, self.slab.live() as f64);
-            ctx.emit_sample(ids.mpl_queue, self.scheduler.queue_len() as f64);
+            // Waiting users live in the wait queue (per-user) or the
+            // admission ring (cohort); the sum covers both models.
+            ctx.emit_sample(
+                ids.mpl_queue,
+                (self.scheduler.queue_len() + self.ring.len()) as f64,
+            );
             let disk_util = self.disks.iter().map(|d| d.utilization(now)).sum::<f64>()
                 / self.disks.len() as f64;
             ctx.emit_sample(ids.disk_utilization, disk_util);
@@ -810,8 +1136,7 @@ impl<'a> VoodbModel<'a> {
         } else if self.arrival.is_closed() {
             // Closed loop: the user thinks, then submits its next
             // transaction. Open arrivals flow independently of commits.
-            let delay = self.think_delay();
-            ctx.schedule(delay, Event::Submit { user });
+            self.resubmit_user(user, ctx);
         }
     }
 }
@@ -837,16 +1162,31 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 network_utilization: ctx.intern_series("network_utilization"),
             };
         }
-        match self.arrival {
-            Arrival::Closed => {
-                for user in 0..self.params.users {
-                    let delay = self.think_delay();
-                    ctx.schedule(delay, Event::Submit { user });
+        if let Some(open) = self.open_arrival {
+            let delay = self.open_delay(open);
+            ctx.schedule(delay, Event::Arrive);
+        } else {
+            match self.user_model {
+                UserModel::PerUser => {
+                    for user in 0..self.user_total {
+                        let mean = self.cohorts[self.cohort_of_user(user)].think_time_ms;
+                        let delay = self.draw_think(mean);
+                        ctx.schedule(delay, Event::Submit { user });
+                    }
                 }
-            }
-            Arrival::Poisson { .. } | Arrival::Deterministic { .. } => {
-                let delay = self.interarrival_delay();
-                ctx.schedule(delay, Event::Arrive);
+                UserModel::Cohort => {
+                    // Cohorts are contiguous user ranges, so drawing
+                    // cohort by cohort consumes the think stream in the
+                    // exact order the per-user loop above would.
+                    for c in 0..self.cohorts.len() {
+                        for _ in 0..self.cohorts[c].size {
+                            let mean = self.cohorts[c].think_time_ms;
+                            let delay = self.draw_think(mean);
+                            let at = ctx.now() + delay;
+                            self.queue_cohort_wake(c, at, ctx);
+                        }
+                    }
+                }
             }
         }
         if let PhaseMode::Horizon { warmup_ms, .. } = self.mode {
@@ -867,9 +1207,30 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 // Open system: this arrival, then schedule the next one —
                 // independent of commits, bounded only by the source.
                 if self.spawn_transaction(OPEN_USER, ctx) {
-                    let delay = self.interarrival_delay();
-                    ctx.schedule(delay, Event::Arrive);
+                    if let Some(open) = self.open_arrival {
+                        let delay = self.open_delay(open);
+                        ctx.schedule(delay, Event::Arrive);
+                    }
                 }
+            }
+            Event::CohortWake { cohort, epoch } => {
+                let c = cohort as usize;
+                if self.clocks[c].epoch != epoch {
+                    return;
+                }
+                // Batch-drain every wake due now, in (time, insertion)
+                // order — the order the per-user oracle would dispatch
+                // the same users' `Submit` events.
+                let now_key = u128::from(time_key(ctx.now().as_ms()));
+                while let Some(&Reverse(ord)) = self.clocks[c].pending.peek() {
+                    if (ord >> 64) > now_key {
+                        break;
+                    }
+                    self.clocks[c].pending.pop();
+                    self.submit_from_cohort(cohort, ctx);
+                }
+                self.clocks[c].armed = None;
+                self.arm_cohort(c, ctx);
             }
             Event::MeasureStart => {
                 self.measure_started = true;
@@ -939,6 +1300,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                 let tid = self
                     .slab
                     .slot_of_serial(serial)
+                    // audit: commit/abort purge the serial's lock entries first
                     .expect("resumed transaction is live");
                 self.after_lock_granted(tid, ctx);
             }
@@ -975,6 +1337,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                     .get_mut(tid)
                     .pending_io
                     .take()
+                    // audit: DiskGranted only follows a request that set pending_io
                     .expect("pending I/O");
                 let duration = self.iosub[site].service_batch(&writes, &reads);
                 // Remember the site for the release.
@@ -992,6 +1355,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
                     .get_mut(tid)
                     .pending_io
                     .take()
+                    // audit: DiskGranted re-stored the site marker before DiskDone
                     .expect("site marker")
                     .2;
                 self.disks[site].release(ctx);
@@ -1063,8 +1427,7 @@ impl<P: Probe, Q: QueueKind> Model<P, Q> for VoodbModel<'_> {
             Event::ReorgDone { user } => {
                 self.disks[0].release(ctx);
                 if self.arrival.is_closed() {
-                    let delay = self.think_delay();
-                    ctx.schedule(delay, Event::Submit { user });
+                    self.resubmit_user(user, ctx);
                 }
             }
             Event::HazardStrike(kind) => {
@@ -1609,5 +1972,171 @@ mod tests {
         );
         assert_eq!(free.total_ios(), locky.total_ios());
         assert!(locky.mean_response_ms > free.mean_response_ms);
+    }
+
+    /// Runs one closed, streamed, count-bounded phase under the given
+    /// user representation. Returns the result, the slab high water and
+    /// the admission-ring high water.
+    fn run_closed_with_model(
+        base: &ObjectBase,
+        params: VoodbParams,
+        think_time_ms: f64,
+        user_model: UserModel,
+        cohorts: &[UserCohort],
+        n: usize,
+        seed: u64,
+    ) -> (PhaseResult, usize, usize) {
+        let wl = WorkloadParams {
+            hot_transactions: n,
+            ..WorkloadParams::default()
+        };
+        let generator = WorkloadGenerator::new(base, wl, seed);
+        let mut model = VoodbModel::new(base, params, think_time_ms, seed);
+        model.set_user_population(user_model, cohorts);
+        model.load_phase_streamed(
+            Box::new(ocb::LazySource::bounded(generator, n)),
+            PhaseMode::Count { cold: 0 },
+            Arrival::Closed,
+        );
+        let mut engine = Engine::with_probe(model, desp::NoProbe);
+        let outcome = engine.run_to_completion();
+        let model = engine.model();
+        (
+            model.phase_result(outcome.events_dispatched),
+            model.tx_slab_high_water(),
+            model.admission_high_water(),
+        )
+    }
+
+    /// Field-by-field bit equality, ignoring the engine event count
+    /// (cohort mode legitimately dispatches fewer events).
+    fn assert_results_bit_identical(a: &PhaseResult, b: &PhaseResult) {
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.io.reads, b.io.reads);
+        assert_eq!(a.io.writes, b.io.writes);
+        assert_eq!(a.mean_response_ms.to_bits(), b.mean_response_ms.to_bits());
+        assert_eq!(a.throughput_tps.to_bits(), b.throughput_tps.to_bits());
+        assert_eq!(a.hit_ratio.to_bits(), b.hit_ratio.to_bits());
+        assert_eq!(a.sim_elapsed_ms.to_bits(), b.sim_elapsed_ms.to_bits());
+    }
+
+    #[test]
+    fn cohort_users_match_the_per_user_oracle_bitwise() {
+        let base = base();
+        for seed in [7, 11, 42] {
+            let params = VoodbParams {
+                users: 8,
+                multiprogramming_level: 3,
+                ..small_params()
+            };
+            let (oracle, oracle_slab, _) = run_closed_with_model(
+                &base,
+                params.clone(),
+                25.0,
+                UserModel::PerUser,
+                &[],
+                60,
+                seed,
+            );
+            let (cohort, cohort_slab, ring_high) =
+                run_closed_with_model(&base, params, 25.0, UserModel::Cohort, &[], 60, seed);
+            assert_results_bit_identical(&oracle, &cohort);
+            // The memory story: the per-user oracle pulls at submission
+            // (slab holds waiters), cohort mode pulls at admission
+            // (slab holds only the MPL in-flight set).
+            assert!(cohort_slab <= 3, "cohort slab {cohort_slab} > MPL");
+            assert!(oracle_slab > 3, "oracle slab should hold waiters");
+            assert!(ring_high > 0, "users > MPL must exercise the ring");
+        }
+    }
+
+    #[test]
+    fn explicit_cohorts_match_across_representations() {
+        let base = base();
+        let cohorts = [
+            UserCohort {
+                size: 3,
+                think_time_ms: 10.0,
+            },
+            UserCohort {
+                size: 5,
+                think_time_ms: 40.0,
+            },
+        ];
+        let params = VoodbParams {
+            multiprogramming_level: 4,
+            ..small_params()
+        };
+        let (oracle, ..) = run_closed_with_model(
+            &base,
+            params.clone(),
+            0.0,
+            UserModel::PerUser,
+            &cohorts,
+            50,
+            13,
+        );
+        let (cohort, ..) =
+            run_closed_with_model(&base, params, 0.0, UserModel::Cohort, &cohorts, 50, 13);
+        assert_results_bit_identical(&oracle, &cohort);
+    }
+
+    #[test]
+    fn zero_think_cohort_matches_oracle() {
+        // The degenerate all-wakes-collide regime: no stream draws at
+        // all, every submission rides commit instants.
+        let base = base();
+        for seed in [3, 97] {
+            let params = VoodbParams {
+                users: 6,
+                multiprogramming_level: 2,
+                ..small_params()
+            };
+            let (oracle, ..) = run_closed_with_model(
+                &base,
+                params.clone(),
+                0.0,
+                UserModel::PerUser,
+                &[],
+                40,
+                seed,
+            );
+            let (cohort, ..) =
+                run_closed_with_model(&base, params, 0.0, UserModel::Cohort, &[], 40, seed);
+            assert_results_bit_identical(&oracle, &cohort);
+        }
+    }
+
+    #[test]
+    fn cohort_phase_reload_starts_clean() {
+        // Two phases back to back on one model: the ring and the wake
+        // heaps must reset, and in-flight wakes from phase one must be
+        // orphaned by the epoch bump.
+        let base = base();
+        let params = VoodbParams {
+            users: 5,
+            multiprogramming_level: 2,
+            ..small_params()
+        };
+        let mut model = VoodbModel::new(&base, params, 15.0, 77);
+        model.set_user_population(UserModel::Cohort, &[]);
+        for _ in 0..2 {
+            let wl = WorkloadParams {
+                hot_transactions: 30,
+                ..WorkloadParams::default()
+            };
+            let generator = WorkloadGenerator::new(&base, wl, 77);
+            model.load_phase_streamed(
+                Box::new(ocb::LazySource::bounded(generator, 30)),
+                PhaseMode::Count { cold: 0 },
+                Arrival::Closed,
+            );
+            let mut engine = Engine::with_probe(model, desp::NoProbe);
+            let outcome = engine.run_to_completion();
+            let (m, _) = engine.into_parts();
+            model = m;
+            let result = model.phase_result(outcome.events_dispatched);
+            assert_eq!(result.transactions, 30);
+        }
     }
 }

@@ -135,6 +135,16 @@ impl<'a, E, P: Probe, Q: QueueKind> Context<'a, E, P, Q> {
         self.probe.on_span(slot, serial, point, self.now.as_ms());
     }
 
+    /// [`Context::emit_span`] back-dated to `at` (≤ now). Deferred
+    /// bookkeeping paths — cohort admission materializes a transaction
+    /// only when an MPL slot frees — use this to stamp the span with
+    /// the instant the lifecycle point logically happened.
+    #[inline]
+    pub fn emit_span_at(&mut self, at: SimTime, slot: u32, serial: u64, point: SpanPoint) {
+        debug_assert!(at <= self.now, "back-dated spans only");
+        self.probe.on_span(slot, serial, point, at.as_ms());
+    }
+
     /// Emits one accumulated lifecycle-stage value for the transaction
     /// in `slot` — milliseconds for duration stages, a count for
     /// [`SpanStage::Accesses`]. One valued call replaces a

@@ -75,7 +75,8 @@ pub use random::{RandomStream, StreamFamily, Xoshiro256, Zipf};
 pub use replication::{MetricSet, ReplicationPolicy, ReplicationReport, Replicator};
 pub use resource::{Discipline, Resource};
 pub use sched::{
-    CalendarKind, CalendarQueue, EventHeap, HeapKind, QueueKind, Scheduler, SchedulerKind,
+    key_time, time_key, CalendarKind, CalendarQueue, EventHeap, HeapKind, QueueKind, Scheduler,
+    SchedulerKind, TimerWheel, WheelKind,
 };
 pub use stats::{ConfidenceInterval, TimeWeighted, Welford};
 pub use time::SimTime;

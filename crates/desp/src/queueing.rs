@@ -299,6 +299,9 @@ pub fn simulate_mm1_sched(
         SchedulerKind::Heap => {
             simulate_mmc_on::<crate::sched::HeapKind>(lambda, mu, 1, horizon_ms, warmup_ms, seed)
         }
+        SchedulerKind::Wheel => {
+            simulate_mmc_on::<crate::sched::WheelKind>(lambda, mu, 1, horizon_ms, warmup_ms, seed)
+        }
     }
 }
 

@@ -38,7 +38,9 @@ pub mod source;
 pub mod workload;
 
 pub use database::{Object, ObjectBase, Oid};
-pub use params::{Arrival, DatabaseParams, Selection, TransactionKind, WorkloadParams};
+pub use params::{
+    Arrival, DatabaseParams, Selection, TransactionKind, UserCohort, UserModel, WorkloadParams,
+};
 pub use schema::{Class, ClassId, ClassRef, RefType, Schema, BYTES_PER_REF, OBJECT_HEADER_BYTES};
 pub use source::{LazySource, MaterializedSource, TransactionSource};
 pub use workload::{

@@ -275,6 +275,84 @@ impl Arrival {
     }
 }
 
+/// How the closed-system user population is represented in the model.
+///
+/// Both representations draw the same think-time stream in the same
+/// order, so results are bit-identical; the difference is purely what
+/// the simulator carries per user (pinned by differential tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UserModel {
+    /// One engine event and one wait-queue entry per user — the
+    /// paper's literal Users sub-model, kept as the small-N
+    /// differential oracle. Event-queue population is O(NUSERS).
+    #[default]
+    PerUser,
+    /// Users sharing think-time parameters collapse into cohorts: a
+    /// per-cohort wake heap plus a flat admission ring. Event-queue
+    /// population is O(in-flight + cohorts), scaling NUSERS to 1M.
+    Cohort,
+}
+
+impl UserModel {
+    /// The CLI/TOML spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            UserModel::PerUser => "per-user",
+            UserModel::Cohort => "cohort",
+        }
+    }
+}
+
+impl std::fmt::Display for UserModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for UserModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "per-user" => Ok(UserModel::PerUser),
+            "cohort" => Ok(UserModel::Cohort),
+            other => Err(format!(
+                "unknown user model '{other}' (known: per-user, cohort)"
+            )),
+        }
+    }
+}
+
+/// One cohort of a partitioned closed user population: `size` users
+/// sharing one mean think time. A workload with an empty cohort list
+/// behaves as a single implicit cohort of (`users`, `think_time_ms`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UserCohort {
+    /// Users in this cohort.
+    pub size: usize,
+    /// Mean think time of the cohort's users, ms (exponential).
+    pub think_time_ms: f64,
+}
+
+impl UserCohort {
+    /// Validates the cohort's parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size == 0 {
+            return Err("cohort size must be positive".into());
+        }
+        if !self.think_time_ms.is_finite() || self.think_time_ms < 0.0 {
+            return Err(format!(
+                "cohort think_time_ms must be non-negative and finite, got {}",
+                self.think_time_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Parameters of the transaction workload (OCB workload half).
 #[derive(Clone, Debug)]
 pub struct WorkloadParams {
@@ -324,6 +402,15 @@ pub struct WorkloadParams {
     /// committing before `warmup_ms` are executed but not measured. Only
     /// meaningful when `duration_ms > 0`.
     pub warmup_ms: f64,
+    /// `USERMODEL` — per-user oracle (default) or cohort-batched
+    /// representation of the closed user population (see [`UserModel`]).
+    pub user_model: UserModel,
+    /// `COHORTS` — optional explicit partition of the closed population
+    /// into think-time cohorts. Empty (default): one implicit cohort of
+    /// (`users`, `think_time_ms`). Non-empty: the population is the sum
+    /// of cohort sizes and each cohort draws its own mean think time
+    /// (honoured by *both* user models, so they stay differential).
+    pub cohorts: Vec<UserCohort>,
 }
 
 impl Default for WorkloadParams {
@@ -347,6 +434,8 @@ impl Default for WorkloadParams {
             arrival: Arrival::Closed,
             duration_ms: 0.0,
             warmup_ms: 0.0,
+            user_model: UserModel::PerUser,
+            cohorts: Vec::new(),
         }
     }
 }
@@ -444,6 +533,14 @@ impl WorkloadParams {
         self.root_dist
             .validate()
             .map_err(|e| format!("root_dist: {e}"))?;
+        for (i, cohort) in self.cohorts.iter().enumerate() {
+            cohort
+                .validate()
+                .map_err(|e| format!("cohorts[{i}]: {e}"))?;
+        }
+        if self.cohorts.len() > u32::MAX as usize {
+            return Err("too many cohorts".into());
+        }
         Ok(())
     }
 }

@@ -163,10 +163,11 @@ pub fn run_replication_sched<P: Probe>(
     let (source, mode) = workload_phase(generator);
     let mut simulation = Simulation::new(
         base,
-        point.config.system.clone(),
+        point.config.effective_system(),
         workload.think_time_ms,
         seed,
     );
+    simulation.configure_users(workload.user_model, &workload.cohorts);
     simulation.run_phase_source_sched(source, mode, workload.arrival, probe, sched)
 }
 
@@ -197,10 +198,11 @@ pub fn run_replication_materialized<P: Probe>(
     transactions.extend(hot);
     let mut simulation = Simulation::new(
         base,
-        point.config.system.clone(),
+        point.config.effective_system(),
         workload.think_time_ms,
         seed,
     );
+    simulation.configure_users(workload.user_model, &workload.cohorts);
     simulation.run_phase_source_sched(
         Box::new(ocb::MaterializedSource::new(transactions)),
         voodb::PhaseMode::Count { cold: cold_count },

@@ -581,6 +581,11 @@ pub const PARAM_HELP: &[(&str, &str, &str)] = &[
         "concurrent users of the workload",
     ),
     (
+        "workload.user_model",
+        "string",
+        "USERREP: per-user (small-N oracle) | cohort (O(in-flight + cohorts) memory, scales to 1M users)",
+    ),
+    (
         "workload.cold_transactions",
         "integer",
         "COLDN: unmeasured cold-run transactions",
@@ -985,6 +990,7 @@ fn apply_database(db: &mut ocb::DatabaseParams, field: &str, v: &Value) -> Resul
 fn apply_workload(wl: &mut ocb::WorkloadParams, field: &str, v: &Value) -> Result<(), String> {
     match field {
         "users" => wl.users = usize_of(v)?,
+        "user_model" => wl.user_model = str_of(v)?.parse()?,
         "cold_transactions" => wl.cold_transactions = usize_of(v)?,
         "hot_transactions" => wl.hot_transactions = usize_of(v)?,
         "p_set" => wl.p_set = f64_of(v)?,
@@ -1127,6 +1133,10 @@ fn database_to_table(db: &ocb::DatabaseParams) -> Table {
 fn workload_to_table(wl: &ocb::WorkloadParams) -> Table {
     let mut t = Table::new();
     t.insert("users".into(), Value::Integer(wl.users as i64));
+    t.insert(
+        "user_model".into(),
+        Value::String(wl.user_model.name().into()),
+    );
     t.insert(
         "cold_transactions".into(),
         Value::Integer(wl.cold_transactions as i64),

@@ -70,12 +70,14 @@ const EXPECTED_PARAMS: &str = concat!(
     "  workload.simple_depth                integer    SIMDEPTH: simple traversal depth\n",
     "  workload.stochastic_depth            integer    STODEPTH: stochastic traversal depth\n",
     "  workload.think_time_ms               float      THINKTIME: mean think time, ms\n",
+    "  workload.user_model                  string     USERREP: per-user (small-N oracle) | cohort (O(in-flight + cohorts) memory, scales to 1M users)\n",
     "  workload.users                       integer    concurrent users of the workload\n",
     "  workload.warmup_ms                   float      WARMUP: unmeasured warm-up prefix of a time-horizon phase, ms\n",
 );
 
 const EXPECTED_LISTING: &str = concat!(
     "dstc_mid.toml                DSTC under favorable conditions: auto-triggered clustering, 64 vs 3 MB [2 x10 reps] sweeps: system.memory_mb\n",
+    "million_users.toml           Closed-system user scaling to 1M via cohort batching, page server [8 x3 reps] sweeps: workload.users, system.multiprogramming_level\n",
     "multiserver_mpl.toml         Multiprogramming level x system class, 8 users with think time [16 x10 reps] sweeps: system.multiprogramming_level, system.system_class\n",
     "o2_base_size.toml            O2 (Table 4): mean I/Os vs. number of instances, 50 classes [6 x10 reps] sweeps: database.objects\n",
     "o2_cache.toml                O2 (Table 4): mean I/Os vs. server cache size, mid-sized base [6 x10 reps] sweeps: system.cache_mb\n",

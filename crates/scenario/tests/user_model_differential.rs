@@ -1,0 +1,110 @@
+//! User-model differential tests, in the `stream_differential.rs`
+//! discipline: the cohort-batched user population (per-cohort wake
+//! heaps + admission ring, O(in-flight + cohorts) memory) must be
+//! **bit-identical** to the per-user oracle (one engine event and one
+//! wait-queue entry per user — the paper's literal Users sub-model) on
+//! every closed configuration, across sweep points, replications, seeds,
+//! schedulers and thread counts.
+
+use ocb::{UserCohort, UserModel};
+use scenario::{run_sweep, sweep_table, RunOptions, Scenario, SchedulerKind};
+use std::path::PathBuf;
+
+fn preset(name: &str) -> Scenario {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../scenarios/{name}"));
+    let text = std::fs::read_to_string(&path).expect("scenario readable");
+    Scenario::parse(&text).expect("scenario valid")
+}
+
+/// The smoke sweep, reshaped into a closed multi-user workload: more
+/// users than MPL seats so the admission ring actually queues, and a
+/// positive think time so the wake machinery runs.
+fn closed_smoke(user_model: UserModel) -> Scenario {
+    let mut scenario = preset("smoke.toml");
+    scenario.config.workload.users = 6;
+    scenario.config.workload.think_time_ms = 25.0;
+    scenario.config.workload.user_model = user_model;
+    scenario
+}
+
+fn tables(scenario: &Scenario, options: &RunOptions) -> (String, String) {
+    let result = run_sweep(scenario, options).expect("sweep runs");
+    (
+        sweep_table(&result).to_csv(),
+        sweep_table(&result).to_json(),
+    )
+}
+
+#[test]
+fn cohort_sweep_is_bit_identical_to_per_user_oracle() {
+    for seed in [11u64, 42, 97] {
+        let options = RunOptions {
+            threads: Some(2),
+            reps: Some(2),
+            seed: Some(seed),
+            ..RunOptions::default()
+        };
+        let (oracle_csv, oracle_json) = tables(&closed_smoke(UserModel::PerUser), &options);
+        let (cohort_csv, cohort_json) = tables(&closed_smoke(UserModel::Cohort), &options);
+        assert_eq!(
+            cohort_csv, oracle_csv,
+            "seed {seed}: cohort CSV diverged from the per-user oracle"
+        );
+        assert_eq!(cohort_json, oracle_json, "seed {seed}: JSON diverged");
+    }
+}
+
+#[test]
+fn user_model_equivalence_holds_on_every_scheduler() {
+    for sched in SchedulerKind::ALL {
+        let options = RunOptions {
+            reps: Some(2),
+            seed: Some(7),
+            scheduler: sched,
+            ..RunOptions::default()
+        };
+        let oracle = tables(&closed_smoke(UserModel::PerUser), &options).0;
+        let cohort = tables(&closed_smoke(UserModel::Cohort), &options).0;
+        assert_eq!(
+            cohort,
+            oracle,
+            "scheduler {}: cohort diverged from the per-user oracle",
+            sched.name()
+        );
+    }
+}
+
+#[test]
+fn explicit_cohort_partition_matches_across_representations() {
+    // A heterogeneous population — two cohorts with different think
+    // times — exercised through the sweep runner end to end.
+    let build = |user_model: UserModel| {
+        let mut scenario = closed_smoke(user_model);
+        scenario.config.workload.cohorts = vec![
+            UserCohort {
+                size: 2,
+                think_time_ms: 10.0,
+            },
+            UserCohort {
+                size: 4,
+                think_time_ms: 40.0,
+            },
+        ];
+        scenario
+    };
+    for seed in [11u64, 42] {
+        let options = RunOptions {
+            threads: Some(2),
+            reps: Some(2),
+            seed: Some(seed),
+            ..RunOptions::default()
+        };
+        let (oracle_csv, oracle_json) = tables(&build(UserModel::PerUser), &options);
+        let (cohort_csv, cohort_json) = tables(&build(UserModel::Cohort), &options);
+        assert_eq!(
+            cohort_csv, oracle_csv,
+            "seed {seed}: explicit cohorts diverged across representations"
+        );
+        assert_eq!(cohort_json, oracle_json, "seed {seed}: JSON diverged");
+    }
+}

@@ -218,6 +218,12 @@ pub const DIRECTION_RULES: &[DirectionRule] = &[
     // Streaming-pipeline memory: peak in-flight transaction slots
     // growing means the O(MPL) guarantee is eroding.
     rule(MetricPattern::Suffix("_peak_slots"), Direction::HigherWorse),
+    // Process high-water memory (the million-user phase's witness that
+    // cohort state stays O(in-flight + cohorts), not O(NUSERS) events).
+    rule(
+        MetricPattern::Suffix("_peak_rss_mb"),
+        Direction::HigherWorse,
+    ),
     rule(MetricPattern::Exact("ios"), Direction::HigherWorse),
     rule(MetricPattern::Exact("reads"), Direction::HigherWorse),
     rule(MetricPattern::Exact("writes"), Direction::HigherWorse),
@@ -480,6 +486,7 @@ mod tests {
             direction_of("stream_slab_peak_slots"),
             Direction::HigherWorse
         );
+        assert_eq!(direction_of("users_1m_peak_rss_mb"), Direction::HigherWorse);
         assert_eq!(direction_of("traced_spans_per_run"), Direction::Neutral);
     }
 
@@ -500,6 +507,8 @@ mod tests {
             ("workload_gen_tx_per_sec", Direction::LowerWorse),
             ("stream_phase_tx_per_sec", Direction::LowerWorse),
             ("stream_slab_peak_slots", Direction::HigherWorse),
+            ("users_1m_events_per_sec", Direction::LowerWorse),
+            ("users_1m_peak_rss_mb", Direction::HigherWorse),
         ];
         for (metric, direction) in expected {
             assert_eq!(direction_of(metric), direction, "{metric}");
